@@ -1,0 +1,142 @@
+"""Ablations of FSD-Inference design choices discussed in the paper.
+
+Four design decisions called out in Sections III and IV are ablated here on a
+mid-size scaled workload:
+
+* **Long vs short polling** of the per-worker queue (Section III-C1): long
+  polling should need fewer queue API requests, reducing SQS cost.
+* **ZLIB compression on vs off** (Section IV-B): compression should reduce the
+  communicated bytes and hence pub/sub delivery charges.
+* **Number of pub/sub topics** (Section III-A): a pool of topics spreads
+  publish traffic; a single topic must absorb every publish.
+* **Launch-tree branching factor** (Section II-B): wider trees shorten the
+  time until the full worker pool is running.
+"""
+
+import pytest
+
+from repro import CloudEnvironment, EngineConfig, FSDInference, Variant
+from repro.cloud import FunctionConfig, VirtualClock
+from repro.core import launch_worker_tree
+
+from common import (
+    scaled_cloud,
+    MEMORY_OVERHEAD_MB,
+    bench_neurons,
+    build_workload,
+    print_table,
+    worker_memory_for,
+)
+
+WORKERS = 4
+
+
+def _run(workload, **overrides):
+    cloud = scaled_cloud()
+    config = EngineConfig(
+        variant=Variant.QUEUE,
+        workers=WORKERS,
+        worker_memory_mb=worker_memory_for(workload.neurons),
+        memory_overhead_mb=MEMORY_OVERHEAD_MB,
+        **overrides,
+    )
+    engine = FSDInference(cloud, config)
+    plan = workload.plan_for(WORKERS)
+    return engine.infer(workload.model, workload.batch, plan)
+
+
+def test_ablation_long_vs_short_polling(benchmark):
+    workload = build_workload(bench_neurons()[1])
+
+    def run_both():
+        return {
+            "long polling (W=5s)": _run(workload, use_long_polling=True),
+            "short polling (W=0)": _run(workload, use_long_polling=False),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        [name, r.metrics.total_poll_calls, r.cost.communication_cost, r.latency_seconds]
+        for name, r in results.items()
+    ]
+    print_table(
+        "Ablation -- queue polling mode",
+        ["polling", "poll API calls", "communication $", "latency (s)"],
+        rows,
+    )
+    long_poll = results["long polling (W=5s)"]
+    short_poll = results["short polling (W=0)"]
+    assert long_poll.metrics.total_poll_calls <= short_poll.metrics.total_poll_calls
+    assert long_poll.cost.communication_cost <= short_poll.cost.communication_cost
+
+
+def test_ablation_compression(benchmark):
+    workload = build_workload(bench_neurons()[1])
+
+    def run_both():
+        return {
+            "zlib compression": _run(workload, compress=True),
+            "no compression": _run(workload, compress=False),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        [name, r.metrics.total_bytes_sent, r.cost.communication_cost, r.latency_seconds]
+        for name, r in results.items()
+    ]
+    print_table(
+        "Ablation -- payload compression",
+        ["configuration", "bytes sent", "communication $", "latency (s)"],
+        rows,
+    )
+    assert (
+        results["zlib compression"].metrics.total_bytes_sent
+        < results["no compression"].metrics.total_bytes_sent
+    )
+
+
+def test_ablation_topic_pool_size(benchmark):
+    workload = build_workload(bench_neurons()[1])
+
+    def run_sweep():
+        return {topics: _run(workload, num_topics=topics) for topics in (1, 2, 10)}
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        [topics, r.metrics.total_publish_calls, r.latency_seconds, r.cost.communication_cost]
+        for topics, r in results.items()
+    ]
+    print_table(
+        "Ablation -- pub/sub topic pool size",
+        ["topics", "publish calls", "latency (s)", "communication $"],
+        rows,
+    )
+    # Correctness and cost must be insensitive to the topic pool size (it only
+    # spreads API load); every configuration produced a bill and a result.
+    costs = [r.cost.communication_cost for r in results.values()]
+    assert max(costs) <= min(costs) * 1.05
+
+
+def test_ablation_launch_branching_factor(benchmark):
+    cloud = CloudEnvironment()
+    cloud.faas.create_function(FunctionConfig(name="ablation-worker", memory_mb=1024))
+
+    def launch_all():
+        spans = {}
+        for branching in (1, 2, 4, 8):
+            result = launch_worker_tree(
+                cloud.faas, "ablation-worker", 62, branching, VirtualClock()
+            )
+            spans[branching] = result.completed_at
+        return spans
+
+    spans = benchmark.pedantic(launch_all, rounds=1, iterations=1)
+    rows = [[branching, finish] for branching, finish in spans.items()]
+    print_table(
+        "Ablation -- hierarchical launch branching factor (62 workers)",
+        ["branching factor", "time until last worker starts (s)"],
+        rows,
+    )
+    # A tree (branching >= 2) fills the worker pool faster than a chain.
+    assert spans[4] < spans[1]
+    assert spans[8] < spans[1]

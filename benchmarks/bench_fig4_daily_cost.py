@@ -1,0 +1,106 @@
+"""Figure 4 -- daily cost vs query volume under a sporadic workload.
+
+The paper projects the daily cost of serving a sporadic workload (queries of
+10 000 samples spread evenly over the four model sizes) with three
+provisioning strategies:
+
+* FSD-Inference (per-query serverless cost; the cheapest adequate variant is
+  chosen per model size),
+* Server-Always-On (a standing fleet of two c5.12xlarge instances, billed
+  around the clock regardless of load), and
+* Server-Job-Scoped (a right-sized instance booted per query and billed for
+  the query duration only).
+
+The benchmark measures the per-query cost of each strategy once per model
+size on the scaled workload and projects daily totals across the paper's
+query-volume sweep.  Qualitative claims checked: always-on cost is flat in
+query volume and dominates at low volumes; FSD-Inference is far cheaper than
+always-on until very high daily volumes; job-scoped is price-competitive with
+FSD-Inference but (per Figure 5) at much higher latency.
+"""
+
+import pytest
+
+from repro import (
+    OutOfMemoryError,
+    ServerMode,
+    Variant,
+    always_on_daily_cost,
+    generate_sporadic_workload,
+    run_server_query,
+)
+
+from common import (
+    scaled_cloud,
+    bench_neurons,
+    bench_samples,
+    build_workload,
+    paper_equivalent,
+    print_table,
+    run_engine,
+)
+
+#: daily sample volumes swept in Figure 4 (thousands of samples per 24 hours).
+DAILY_SAMPLE_VOLUMES = (10_000, 40_000, 160_000, 640_000, 2_560_000, 5_120_000)
+
+
+def _fsd_cost_per_query(workload):
+    """Cheapest adequate FSD-Inference variant cost for one query."""
+    costs = []
+    try:
+        serial = run_engine(workload, Variant.SERIAL, workers=1)
+        costs.append(serial.cost.total)
+    except OutOfMemoryError:
+        pass
+    queue = run_engine(workload, Variant.QUEUE, workers=4)
+    costs.append(queue.cost.total)
+    return min(costs)
+
+
+def test_fig4_daily_cost_vs_query_volume(benchmark):
+    neurons_list = bench_neurons()
+
+    def measure_per_query_costs():
+        fsd, job_scoped = {}, {}
+        for neurons in neurons_list:
+            workload = build_workload(neurons)
+            fsd[neurons] = _fsd_cost_per_query(workload)
+            job = run_server_query(
+                scaled_cloud(), workload.model, workload.batch, ServerMode.JOB_SCOPED
+            )
+            job_scoped[neurons] = job.cost
+        return fsd, job_scoped
+
+    fsd_cost, job_cost = benchmark.pedantic(measure_per_query_costs, rounds=1, iterations=1)
+
+    always_on = always_on_daily_cost(scaled_cloud(), instances=2, hours=24.0)
+    samples_per_query = bench_samples()
+
+    rows = []
+    crossover_found = False
+    for daily_samples in DAILY_SAMPLE_VOLUMES:
+        workload_plan = generate_sporadic_workload(
+            daily_samples, batch_size=samples_per_query, neuron_counts=neurons_list, seed=5
+        )
+        queries_by_n = {n: len(qs) for n, qs in workload_plan.queries_by_neurons().items()}
+        fsd_daily = sum(fsd_cost[n] * count for n, count in queries_by_n.items())
+        job_daily = sum(job_cost[n] * count for n, count in queries_by_n.items())
+        rows.append([daily_samples, fsd_daily, always_on, job_daily])
+        if fsd_daily > always_on:
+            crossover_found = True
+
+    print_table(
+        "Figure 4 -- daily cost ($) vs daily sample volume "
+        f"(scaled query size = {samples_per_query} samples; model sizes "
+        f"{[paper_equivalent(n) for n in neurons_list]} at paper scale)",
+        ["samples/day", "FSD-Inference", "Server-Always-On", "Server-Job-Scoped"],
+        rows,
+    )
+
+    # Qualitative shape of Figure 4: always-on is flat and dominates at low
+    # volume; FSD is much cheaper at the low end; job-scoped tracks FSD within
+    # an order of magnitude.
+    low_volume = rows[0]
+    assert low_volume[1] < low_volume[2] / 10, "FSD must be >10x cheaper than always-on at low volume"
+    assert all(row[2] == pytest.approx(always_on) for row in rows)
+    assert rows[-1][1] > rows[0][1] * 100, "FSD cost grows with query volume"

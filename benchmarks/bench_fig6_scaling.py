@@ -1,0 +1,86 @@
+"""Figure 6 -- per-sample runtime and cost vs worker parallelism.
+
+For every (scaled) model size and every worker count in the sweep, the
+benchmark runs the full batch through both FSD-Inf-Queue and FSD-Inf-Object
+and reports the per-sample runtime (virtual milliseconds) and per-sample cost
+(USD), i.e. the two y-axes of Figure 6.
+
+Qualitative claims checked: for the larger models, parallelism improves
+per-sample runtime relative to the smallest pool; object-channel costs grow
+(roughly linearly) with worker count and exceed queue-channel costs at the
+highest parallelism level.
+"""
+
+import pytest
+
+from repro import Variant
+
+from common import (
+    bench_neurons,
+    bench_workers,
+    build_workload,
+    paper_equivalent,
+    print_table,
+    run_engine,
+)
+
+
+def _sweep(workload, variant, workers_list):
+    series = []
+    for workers in workers_list:
+        result = run_engine(workload, variant, workers)
+        series.append(
+            {
+                "workers": workers,
+                "per_sample_ms": result.per_sample_ms,
+                "per_sample_cost": result.per_sample_cost,
+                "comm_cost": result.cost.communication_cost,
+            }
+        )
+    return series
+
+
+@pytest.mark.parametrize("neurons", bench_neurons())
+def test_fig6_per_sample_runtime_and_cost(benchmark, neurons):
+    workload = build_workload(neurons)
+    workers_list = list(bench_workers())
+
+    def run_sweeps():
+        return {
+            Variant.QUEUE: _sweep(workload, Variant.QUEUE, workers_list),
+            Variant.OBJECT: _sweep(workload, Variant.OBJECT, workers_list),
+        }
+
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    rows = []
+    for variant, series in sweeps.items():
+        for point in series:
+            rows.append(
+                [
+                    variant.value,
+                    point["workers"],
+                    point["per_sample_ms"],
+                    point["per_sample_cost"],
+                    point["comm_cost"],
+                ]
+            )
+    print_table(
+        f"Figure 6 -- per-sample runtime/cost, scaled N={neurons} "
+        f"(stands in for paper N={paper_equivalent(neurons)})",
+        ["variant", "workers", "per-sample ms", "per-sample $", "comm $ per batch"],
+        rows,
+    )
+
+    queue_series = sweeps[Variant.QUEUE]
+    object_series = sweeps[Variant.OBJECT]
+
+    # Object-channel communication cost grows with parallelism and exceeds the
+    # queue channel's at the largest worker pool (Section VI-D discussion).
+    assert object_series[-1]["comm_cost"] > object_series[0]["comm_cost"]
+    assert object_series[-1]["per_sample_cost"] > queue_series[-1]["per_sample_cost"]
+
+    if neurons >= max(bench_neurons()):
+        # For the largest model, more workers improve per-sample runtime
+        # relative to the smallest pool (Figure 6, N = 65536 panel).
+        assert queue_series[-1]["per_sample_ms"] < queue_series[0]["per_sample_ms"]

@@ -1,0 +1,70 @@
+"""Table I -- feature matrix of candidate inter-worker communication channels.
+
+The paper's Table I compares cloud service categories on the properties an
+inter-worker channel needs.  The two channels FSD-Inference actually builds
+(pub-sub + queues, object storage) are implemented in this repository, so
+their columns are reproduced from the live channel capability metadata; the
+benchmark also measures how quickly each channel's resources can be prepared
+for a 62-worker deployment (the "no reconfiguration needed" property).
+"""
+
+from repro import CloudEnvironment, ObjectChannel, QueueChannel
+
+from common import print_table
+
+
+def _capability_rows():
+    channels = [QueueChannel(CloudEnvironment()), ObjectChannel(CloudEnvironment())]
+    rows = []
+    for channel in channels:
+        caps = channel.capabilities
+        rows.append(
+            [
+                caps.name,
+                "yes" if caps.serverless else "no",
+                "yes" if caps.low_latency_high_throughput else "no",
+                "yes" if caps.cost_effective else "partial",
+                "yes" if caps.flexible_payloads else "no",
+                "yes" if caps.many_producers_consumers else "no",
+                "yes" if caps.service_side_filtering else "no",
+                "yes" if caps.direct_consumer_access else "no",
+            ]
+        )
+    return rows
+
+
+def test_table1_channel_feature_matrix(benchmark):
+    def prepare_channels():
+        cloud = CloudEnvironment()
+        queue_channel = QueueChannel(cloud)
+        object_channel = ObjectChannel(cloud)
+        queue_channel.prepare(62)
+        object_channel.prepare(62)
+        return cloud
+
+    cloud = benchmark.pedantic(prepare_channels, rounds=3, iterations=1)
+
+    rows = _capability_rows()
+    print_table(
+        "Table I -- communication channel feature profiles (implemented channels)",
+        [
+            "channel",
+            "serverless",
+            "low lat/high thr",
+            "cost-effective",
+            "flexible payloads",
+            "many prod/cons",
+            "service-side filtering",
+            "direct consumer access",
+        ],
+        rows,
+    )
+
+    # The qualitative profile of Table I's two selected columns.
+    queue_caps = QueueChannel.capabilities
+    object_caps = ObjectChannel.capabilities
+    assert queue_caps.serverless and object_caps.serverless
+    assert queue_caps.service_side_filtering and not object_caps.service_side_filtering
+    assert object_caps.flexible_payloads and not queue_caps.flexible_payloads
+    # Preparing resources for 62 workers touches 10 topics + 62 queues + 10 buckets.
+    assert len(cloud.queues.list_queues()) == 62

@@ -1,0 +1,13 @@
+"""Benchmark harness configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure of
+the paper's evaluation section on the simulated substrate.  Benchmarks print
+their tables/series to stdout (run with ``-s`` to see them inline; they are
+also summarised in EXPERIMENTS.md).
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``common`` module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,91 @@
+"""Cost-model walkthrough: predict a bill, run the workload, compare.
+
+Demonstrates the Section IV / Section VI-F workflow:
+
+1. run one batch through FSD-Inf-Queue and FSD-Inf-Object,
+2. predict each run's bill *from its captured metrics alone* using the
+   analytical cost model (Equations 1-7),
+3. compare the prediction against the simulated billing ledger (the stand-in
+   for the AWS Cost & Usage report), and
+4. ask the design-recommendation procedure which variant it would have picked.
+
+Run with::
+
+    python examples/cost_model_walkthrough.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CloudEnvironment,
+    EngineConfig,
+    FSDInference,
+    GraphChallengeConfig,
+    HypergraphPartitioner,
+    Variant,
+    WorkloadProfile,
+    build_graph_challenge_model,
+    generate_input_batch,
+    recommend_variant,
+    validate_cost_model,
+)
+
+WORKERS = 6
+WORKER_MEMORY_MB = 1024
+
+
+def main() -> None:
+    config = GraphChallengeConfig(neurons=1024, layers=10, nnz_per_row=32, seed=9)
+    model = build_graph_challenge_model(config)
+    batch = generate_input_batch(model.num_neurons, samples=48, seed=21)
+    plan = HypergraphPartitioner(seed=2).partition(model, WORKERS)
+
+    print(f"model: {model}")
+    print(f"workers: {WORKERS}, worker memory: {WORKER_MEMORY_MB} MB\n")
+
+    for variant in (Variant.QUEUE, Variant.OBJECT):
+        cloud = CloudEnvironment()
+        engine = FSDInference(
+            cloud,
+            EngineConfig(variant=variant, workers=WORKERS, worker_memory_mb=WORKER_MEMORY_MB),
+        )
+        result = engine.infer(model, batch, plan)
+        report = validate_cost_model(result, worker_memory_mb=WORKER_MEMORY_MB)
+        summary = report.summary()
+
+        print(f"FSD-Inf-{variant.value.capitalize()}")
+        print(
+            f"  predicted : compute ${summary['predicted_compute']:.6f}  "
+            f"communication ${summary['predicted_communication']:.6f}  "
+            f"total ${summary['predicted_total']:.6f}"
+        )
+        print(
+            f"  billed    : compute ${summary['actual_compute']:.6f}  "
+            f"communication ${summary['actual_communication']:.6f}  "
+            f"total ${summary['actual_total']:.6f}"
+        )
+        print(
+            f"  error     : compute {report.compute_error:.2%}, "
+            f"communication {report.communication_error:.2%}, total {report.total_error:.2%}"
+        )
+        print(
+            f"  traffic   : {result.metrics.total_bytes_sent:,} bytes, "
+            f"{result.metrics.total_publish_calls} publishes, "
+            f"{result.metrics.total_put_calls} PUTs, "
+            f"{result.metrics.total_get_calls} GETs, "
+            f"{result.metrics.total_list_calls} LISTs\n"
+        )
+
+    recommendation = recommend_variant(
+        WorkloadProfile(
+            model_bytes=model.nbytes(),
+            workers=WORKERS,
+            per_target_layer_bytes=128 * 1024,
+        )
+    )
+    print(f"design recommendation for this workload: {recommendation.variant.value}")
+    print(f"  reason: {recommendation.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""Sporadic inference workload: choosing a provisioning strategy for a day of queries.
+
+Reproduces the scenario motivating the paper (Section VI-C): queries arrive
+sporadically over 24 hours, mixing model sizes.  The example
+
+1. generates a sporadic workload with a Poisson arrival process,
+2. measures the per-query cost and latency of FSD-Inference (choosing the
+   recommended variant per model size), of an always-on server fleet, and of
+   job-scoped servers, and
+3. prints the daily bill and typical query latency of each strategy.
+
+Run with::
+
+    python examples/sporadic_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CloudEnvironment,
+    EngineConfig,
+    FSDInference,
+    GraphChallengeConfig,
+    HypergraphPartitioner,
+    OutOfMemoryError,
+    ServerMode,
+    Variant,
+    WorkloadProfile,
+    always_on_daily_cost,
+    build_graph_challenge_model,
+    generate_input_batch,
+    generate_sporadic_workload,
+    recommend_variant,
+    run_server_query,
+)
+
+#: scaled-down model sizes standing in for the paper's 1024...65536 neurons.
+NEURON_SIZES = (256, 512, 1024)
+LAYERS = 8
+SAMPLES_PER_QUERY = 32
+DAILY_SAMPLES = 50 * SAMPLES_PER_QUERY  # ~50 queries over the day
+
+
+def build_models():
+    models = {}
+    for neurons in NEURON_SIZES:
+        config = GraphChallengeConfig(
+            neurons=neurons, layers=LAYERS, nnz_per_row=max(8, neurons // 32), seed=7
+        )
+        models[neurons] = build_graph_challenge_model(config)
+    return models
+
+
+def measure_fsd(models):
+    """Per-query cost/latency of FSD-Inference with the recommended variant."""
+    measurements = {}
+    for neurons, model in models.items():
+        batch = generate_input_batch(neurons, samples=SAMPLES_PER_QUERY, seed=3)
+        recommendation = recommend_variant(
+            WorkloadProfile(
+                model_bytes=model.nbytes(),
+                workers=4,
+                per_target_layer_bytes=64 * 1024,
+                max_faas_memory_mb=10240,
+            )
+        )
+        cloud = CloudEnvironment()
+        variant = recommendation.variant
+        workers = 1 if variant is Variant.SERIAL else 4
+        engine = FSDInference(cloud, EngineConfig(variant=variant, workers=workers))
+        try:
+            if variant is Variant.SERIAL:
+                result = engine.infer(model, batch)
+            else:
+                plan = engine.partition(model, HypergraphPartitioner(seed=1))
+                result = engine.infer(model, batch, plan)
+        except OutOfMemoryError:
+            # Fall back to the distributed queue variant if serial cannot fit.
+            engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=4))
+            result = engine.infer(model, batch)
+            variant = Variant.QUEUE
+        measurements[neurons] = {
+            "variant": variant.value,
+            "cost": result.cost.total,
+            "latency": result.latency_seconds,
+        }
+    return measurements
+
+
+def measure_servers(models):
+    """Per-query cost/latency of the job-scoped and always-on baselines."""
+    measurements = {}
+    for neurons, model in models.items():
+        batch = generate_input_batch(neurons, samples=SAMPLES_PER_QUERY, seed=3)
+        cloud = CloudEnvironment()
+        job = run_server_query(cloud, model, batch, ServerMode.JOB_SCOPED)
+        hot = run_server_query(cloud, model, batch, ServerMode.ALWAYS_ON_HOT)
+        measurements[neurons] = {
+            "job_cost": job.cost,
+            "job_latency": job.latency_seconds,
+            "always_on_latency": hot.latency_seconds,
+        }
+    return measurements
+
+
+def main() -> None:
+    models = build_models()
+    workload = generate_sporadic_workload(
+        DAILY_SAMPLES, batch_size=SAMPLES_PER_QUERY, neuron_counts=NEURON_SIZES, seed=13
+    )
+    print(
+        f"sporadic workload: {workload.num_queries} queries / {workload.total_samples} samples "
+        f"over 24 hours, model sizes {sorted(workload.samples_by_neurons())}"
+    )
+
+    fsd = measure_fsd(models)
+    servers = measure_servers(models)
+    always_on = always_on_daily_cost(CloudEnvironment(), instances=2, hours=24.0)
+
+    queries_by_neurons = {n: len(qs) for n, qs in workload.queries_by_neurons().items()}
+    fsd_daily = sum(fsd[n]["cost"] * count for n, count in queries_by_neurons.items())
+    job_daily = sum(servers[n]["job_cost"] * count for n, count in queries_by_neurons.items())
+
+    print("\nper-query behaviour:")
+    header = f"{'N':>6} | {'FSD variant':>12} | {'FSD $':>10} | {'FSD s':>7} | {'JS $':>8} | {'JS s':>8} | {'AO-hot s':>8}"
+    print(header)
+    print("-" * len(header))
+    for neurons in NEURON_SIZES:
+        row = fsd[neurons]
+        server = servers[neurons]
+        print(
+            f"{neurons:>6} | {row['variant']:>12} | {row['cost']:>10.6f} | {row['latency']:>7.2f} "
+            f"| {server['job_cost']:>8.4f} | {server['job_latency']:>8.1f} | {server['always_on_latency']:>8.2f}"
+        )
+
+    print("\ndaily bill for the whole workload:")
+    print(f"  FSD-Inference      : ${fsd_daily:.4f}")
+    print(f"  Server-Job-Scoped  : ${job_daily:.4f}  (but each query waits minutes for provisioning)")
+    print(f"  Server-Always-On   : ${always_on:.2f}  (2 x c5.12xlarge, billed around the clock)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` can fall back to the legacy editable-install path on
+offline machines where PEP 660 wheel building is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

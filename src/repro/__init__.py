@@ -1,0 +1,159 @@
+"""FSD-Inference reproduction: fully serverless distributed ML inference.
+
+Reproduction of "FSD-Inference: Fully Serverless Distributed Inference with
+Scalable Cloud Communication" (Oakley & Ferhatosmanoglu, ICDE 2024) on a
+simulated, virtually-timed serverless cloud substrate.
+
+Quickstart::
+
+    from repro import (
+        CloudEnvironment, EngineConfig, FSDInference, Variant,
+        GraphChallengeConfig, build_graph_challenge_model, generate_input_batch,
+        HypergraphPartitioner,
+    )
+
+    cloud = CloudEnvironment()
+    model = build_graph_challenge_model(GraphChallengeConfig(neurons=1024, layers=12))
+    batch = generate_input_batch(model.num_neurons, samples=64)
+
+    engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=8))
+    plan = engine.partition(model, HypergraphPartitioner())
+    result = engine.infer(model, batch, plan)
+    print(result.latency_seconds, result.cost.total)
+"""
+
+from .baselines import (
+    EndpointInfeasibleError,
+    EndpointLimits,
+    EndpointQueryResult,
+    HPCQueryResult,
+    ServerMode,
+    ServerQueryResult,
+    always_on_daily_cost,
+    run_endpoint_query,
+    run_hpc_query,
+    run_server_query,
+)
+from .cloud import (
+    CloudEnvironment,
+    CostReport,
+    FunctionTimeoutError,
+    LatencyModel,
+    OutOfMemoryError,
+    PriceBook,
+    VirtualClock,
+)
+from .comm import (
+    ObjectChannel,
+    ObjectChannelConfig,
+    QueueChannel,
+    QueueChannelConfig,
+    ThreadPool,
+)
+from .core import (
+    EngineConfig,
+    FSDInference,
+    InferenceMetrics,
+    InferenceResult,
+    LaunchTree,
+    Variant,
+)
+from .costmodel import (
+    CostBreakdown,
+    CostValidationReport,
+    Recommendation,
+    WorkloadCostEstimator,
+    WorkloadEstimate,
+    WorkloadProfile,
+    estimate_from_metrics,
+    recommend_variant,
+    validate_cost_model,
+)
+from .model import SparseDNN
+from .partitioning import (
+    ContiguousPartitioner,
+    HypergraphPartitioner,
+    PartitionPlan,
+    Partitioner,
+    RandomPartitioner,
+    evaluate_plan,
+)
+from .workloads import (
+    GraphChallengeConfig,
+    PAPER_BATCH_SIZE,
+    PAPER_LAYER_COUNT,
+    PAPER_NEURON_COUNTS,
+    PAPER_WORKER_COUNTS,
+    SporadicWorkload,
+    build_graph_challenge_model,
+    generate_input_batch,
+    generate_sporadic_workload,
+    paper_configuration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # cloud
+    "CloudEnvironment",
+    "CostReport",
+    "FunctionTimeoutError",
+    "LatencyModel",
+    "OutOfMemoryError",
+    "PriceBook",
+    "VirtualClock",
+    # comm
+    "ObjectChannel",
+    "ObjectChannelConfig",
+    "QueueChannel",
+    "QueueChannelConfig",
+    "ThreadPool",
+    # core
+    "EngineConfig",
+    "FSDInference",
+    "InferenceMetrics",
+    "InferenceResult",
+    "LaunchTree",
+    "Variant",
+    # cost model
+    "CostBreakdown",
+    "CostValidationReport",
+    "Recommendation",
+    "WorkloadCostEstimator",
+    "WorkloadEstimate",
+    "WorkloadProfile",
+    "estimate_from_metrics",
+    "recommend_variant",
+    "validate_cost_model",
+    # model & partitioning
+    "SparseDNN",
+    "ContiguousPartitioner",
+    "HypergraphPartitioner",
+    "PartitionPlan",
+    "Partitioner",
+    "RandomPartitioner",
+    "evaluate_plan",
+    # workloads
+    "GraphChallengeConfig",
+    "PAPER_BATCH_SIZE",
+    "PAPER_LAYER_COUNT",
+    "PAPER_NEURON_COUNTS",
+    "PAPER_WORKER_COUNTS",
+    "SporadicWorkload",
+    "build_graph_challenge_model",
+    "generate_input_batch",
+    "generate_sporadic_workload",
+    "paper_configuration",
+    # baselines
+    "EndpointInfeasibleError",
+    "EndpointLimits",
+    "EndpointQueryResult",
+    "HPCQueryResult",
+    "ServerMode",
+    "ServerQueryResult",
+    "always_on_daily_cost",
+    "run_endpoint_query",
+    "run_hpc_query",
+    "run_server_query",
+]

@@ -1,0 +1,32 @@
+"""Comparison baselines: server VMs, HPC (H-SpFF) and a managed serverless endpoint."""
+
+from .hpc import HPCQueryResult, run_hpc_query
+from .sagemaker import (
+    EndpointInfeasibleError,
+    EndpointLimits,
+    EndpointQueryResult,
+    run_endpoint_query,
+)
+from .server import (
+    ServerMode,
+    ServerQueryResult,
+    always_on_daily_cost,
+    model_load_bytes,
+    paper_server_instance,
+    run_server_query,
+)
+
+__all__ = [
+    "HPCQueryResult",
+    "run_hpc_query",
+    "EndpointInfeasibleError",
+    "EndpointLimits",
+    "EndpointQueryResult",
+    "run_endpoint_query",
+    "ServerMode",
+    "ServerQueryResult",
+    "always_on_daily_cost",
+    "model_load_bytes",
+    "paper_server_instance",
+    "run_server_query",
+]

@@ -1,0 +1,99 @@
+"""H-SpFF baseline: hypergraph-partitioned sparse inference on an HPC cluster.
+
+The paper compares against H-SpFF [12] (Demirci & Ferhatosmanoglu, ICS'21),
+which runs the same hypergraph-partitioned sparse feed-forward inference on
+an on-premise HPC platform with MPI over a fast interconnect.  That hardware
+is not available here, so the baseline is modelled on the same virtual-time
+substrate: per-layer compute is spread over MPI ranks with an HPC-grade
+per-core throughput and parallel efficiency, and the partition plan's
+communication volume crosses a microsecond-latency, tens-of-GB/s
+interconnect.  No cost is reported, matching the paper ("cost information is
+not available for H-SpFF").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..cloud import LatencyModel
+from ..model import SparseDNN
+from ..partitioning import HypergraphPartitioner, PartitionPlan
+from ..sparse import as_csr, flop_count_spmm
+
+__all__ = ["HPCQueryResult", "run_hpc_query"]
+
+#: assumed bytes per transferred activation value on the wire (float32 + index).
+_BYTES_PER_TRANSFERRED_VALUE = 8.0
+
+
+@dataclass(frozen=True)
+class HPCQueryResult:
+    """Latency breakdown of one H-SpFF style query."""
+
+    ranks: int
+    latency_seconds: float
+    compute_seconds: float
+    communication_seconds: float
+    batch_size: int
+
+    @property
+    def per_sample_ms(self) -> float:
+        if self.batch_size == 0:
+            return 0.0
+        return self.latency_seconds / self.batch_size * 1000.0
+
+
+def run_hpc_query(
+    model: SparseDNN,
+    batch: sparse.spmatrix,
+    ranks: int,
+    latency: Optional[LatencyModel] = None,
+    plan: Optional[PartitionPlan] = None,
+) -> HPCQueryResult:
+    """Simulate one batch of H-SpFF inference with ``ranks`` MPI ranks."""
+    if ranks < 1:
+        raise ValueError("ranks must be at least 1")
+    latency = latency or LatencyModel()
+    batch = as_csr(batch)
+    if plan is None and ranks > 1:
+        plan = HypergraphPartitioner().partition(model, ranks)
+
+    compute_seconds = 0.0
+    communication_seconds = 0.0
+    activations = batch
+    for layer, (weight, bias) in enumerate(zip(model.weights, model.biases)):
+        flops = flop_count_spmm(weight, activations) + 2.0 * weight.nnz
+        compute_seconds += latency.hpc_compute(flops, ranks)
+
+        pre = weight @ activations
+        pre.data = pre.data + bias
+        pre.eliminate_zeros()
+        np.maximum(pre.data, 0.0, out=pre.data)
+        if model.activation_cap is not None:
+            np.minimum(pre.data, model.activation_cap, out=pre.data)
+        pre.eliminate_zeros()
+
+        if plan is not None and ranks > 1:
+            avg_row_nnz = activations.nnz / max(activations.shape[0], 1)
+            rows_exchanged = plan.comm_maps[layer].total_rows_transferred()
+            bytes_exchanged = rows_exchanged * avg_row_nnz * _BYTES_PER_TRANSFERRED_VALUE
+            # Transfers are spread over the ranks; each rank also pays a
+            # per-layer message latency for its point-to-point exchanges.
+            pairs = plan.comm_maps[layer].message_pairs()
+            communication_seconds += latency.hpc_transfer(bytes_exchanged / ranks)
+            communication_seconds += latency.hpc_interconnect_latency_seconds * (pairs / ranks)
+
+        activations = pre
+
+    total = compute_seconds + communication_seconds
+    return HPCQueryResult(
+        ranks=ranks,
+        latency_seconds=total,
+        compute_seconds=compute_seconds,
+        communication_seconds=communication_seconds,
+        batch_size=batch.shape[1],
+    )

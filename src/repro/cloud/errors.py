@@ -1,0 +1,92 @@
+"""Exception hierarchy for the simulated cloud substrate.
+
+Every simulated service raises exceptions from this module so that callers
+(the FSD-Inference engine, the baselines and the tests) can handle cloud
+failures uniformly, mirroring how ``botocore`` exposes a common
+``ClientError`` root for AWS SDK errors.
+"""
+
+from __future__ import annotations
+
+
+class CloudError(Exception):
+    """Base class for every error raised by the simulated cloud services."""
+
+
+class ServiceQuotaExceededError(CloudError):
+    """A provider-imposed quota (payload size, batch size, rate) was exceeded."""
+
+
+class ResourceNotFoundError(CloudError):
+    """The referenced resource (queue, topic, bucket, function) does not exist."""
+
+
+class ResourceAlreadyExistsError(CloudError):
+    """Attempted to create a resource whose name is already taken."""
+
+
+class InvalidRequestError(CloudError):
+    """The request is malformed (bad parameters, empty batch, etc.)."""
+
+
+class AccessDeniedError(CloudError):
+    """The caller is not permitted to perform the requested operation."""
+
+
+class FunctionTimeoutError(CloudError):
+    """A FaaS invocation exceeded its configured maximum runtime."""
+
+    def __init__(self, function_name: str, runtime_seconds: float, limit_seconds: float):
+        self.function_name = function_name
+        self.runtime_seconds = runtime_seconds
+        self.limit_seconds = limit_seconds
+        super().__init__(
+            f"function '{function_name}' ran for {runtime_seconds:.1f}s, "
+            f"exceeding its {limit_seconds:.1f}s limit"
+        )
+
+
+class OutOfMemoryError(CloudError):
+    """A FaaS invocation or endpoint exceeded its configured memory."""
+
+    def __init__(self, function_name: str, required_mb: float, limit_mb: float):
+        self.function_name = function_name
+        self.required_mb = required_mb
+        self.limit_mb = limit_mb
+        super().__init__(
+            f"function '{function_name}' needs {required_mb:.0f}MB "
+            f"but is limited to {limit_mb:.0f}MB"
+        )
+
+
+class PayloadTooLargeError(ServiceQuotaExceededError):
+    """A message or request payload exceeded the service's size limit."""
+
+    def __init__(self, size_bytes: int, limit_bytes: int, service: str):
+        self.size_bytes = size_bytes
+        self.limit_bytes = limit_bytes
+        self.service = service
+        super().__init__(
+            f"{service} payload of {size_bytes} bytes exceeds the "
+            f"{limit_bytes} byte limit"
+        )
+
+
+class BatchTooLargeError(ServiceQuotaExceededError):
+    """A batch request contained more entries than the service permits."""
+
+    def __init__(self, count: int, limit: int, service: str):
+        self.count = count
+        self.limit = limit
+        self.service = service
+        super().__init__(
+            f"{service} batch of {count} entries exceeds the {limit} entry limit"
+        )
+
+
+class ThrottlingError(CloudError):
+    """The request rate exceeded the provisioned or burst capacity."""
+
+
+class ConcurrencyLimitError(CloudError):
+    """The account-wide FaaS concurrency limit would be exceeded."""

@@ -1,0 +1,375 @@
+"""Simulated Function-as-a-Service platform (AWS Lambda analogue).
+
+The FaaS platform provides the compute substrate for every FSD-Inference
+variant.  The simulation reproduces the Lambda characteristics that shape the
+paper's design and cost model:
+
+* configurable memory between 128 MB and 10 240 MB, with vCPU share
+  proportional to memory (1 vCPU per 1 769 MB, ~5.8 vCPUs at the maximum);
+* a hard maximum runtime (15 minutes) after which the invocation fails;
+* cold starts on the first use of an execution environment, warm starts when
+  an environment is reused;
+* per-invocation and per-GB-second billing;
+* no direct instance-to-instance communication -- workers must use the
+  pub/sub, queue or object-storage services for IPC.
+
+Invocations are represented by :class:`FunctionInvocation` objects that own a
+virtual clock and expose accounting helpers (``charge_compute``,
+``account_memory``).  Handlers that fit a simple call/return pattern (the
+coordinator, the serial variant, the managed-endpoint baseline) can be run
+directly through :meth:`FaaSPlatform.invoke`; the distributed engine instead
+drives worker invocations phase by phase so that cross-worker message
+causality is preserved (see ``repro.core.worker``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .billing import SERVICE_FAAS, BillingLedger
+from .errors import (
+    ConcurrencyLimitError,
+    FunctionTimeoutError,
+    InvalidRequestError,
+    OutOfMemoryError,
+    ResourceAlreadyExistsError,
+    ResourceNotFoundError,
+)
+from .pricing import PriceBook
+from .timing import LatencyModel, VirtualClock
+
+__all__ = [
+    "FunctionConfig",
+    "FunctionInvocation",
+    "FaaSPlatform",
+    "MIN_MEMORY_MB",
+    "MAX_MEMORY_MB",
+    "MAX_TIMEOUT_SECONDS",
+    "MEMORY_MB_PER_VCPU",
+]
+
+#: Smallest configurable Lambda memory size.
+MIN_MEMORY_MB = 128
+#: Largest configurable Lambda memory size.
+MAX_MEMORY_MB = 10240
+#: Maximum configurable function timeout (15 minutes).
+MAX_TIMEOUT_SECONDS = 15 * 60
+#: Lambda allocates one vCPU per this much memory.
+MEMORY_MB_PER_VCPU = 1769.0
+
+
+@dataclass(frozen=True)
+class FunctionConfig:
+    """Deployment-time configuration of a FaaS function."""
+
+    name: str
+    memory_mb: int = 1024
+    timeout_seconds: float = MAX_TIMEOUT_SECONDS
+    #: size of the deployment package / model artefacts loaded at cold start,
+    #: used only to make cold starts of heavier functions slightly slower.
+    package_mb: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidRequestError("function name cannot be empty")
+        if not MIN_MEMORY_MB <= self.memory_mb <= MAX_MEMORY_MB:
+            raise InvalidRequestError(
+                f"memory_mb must be between {MIN_MEMORY_MB} and {MAX_MEMORY_MB}, "
+                f"got {self.memory_mb}"
+            )
+        if not 1 <= self.timeout_seconds <= MAX_TIMEOUT_SECONDS:
+            raise InvalidRequestError(
+                f"timeout_seconds must be between 1 and {MAX_TIMEOUT_SECONDS}, "
+                f"got {self.timeout_seconds}"
+            )
+
+    @property
+    def vcpus(self) -> float:
+        """Fractional vCPU share allocated to each invocation."""
+        return self.memory_mb / MEMORY_MB_PER_VCPU
+
+
+class FunctionInvocation:
+    """One running execution of a FaaS function.
+
+    The invocation owns a :class:`VirtualClock` started at the moment user
+    code begins executing (i.e. after invoke latency and cold/warm start).
+    The engine advances this clock through the accounting helpers; calling
+    :meth:`finish` closes the invocation, enforces the runtime limit and
+    records the compute charges.
+    """
+
+    def __init__(
+        self,
+        config: FunctionConfig,
+        platform: "FaaSPlatform",
+        started_at: float,
+        cold: bool,
+        invocation_id: int,
+    ):
+        self.config = config
+        self._platform = platform
+        self.started_at = started_at
+        self.cold = cold
+        self.invocation_id = invocation_id
+        self.clock = VirtualClock(started_at)
+        self.peak_memory_mb = 0.0
+        self.finished = False
+        self.failed_reason: Optional[str] = None
+        self._finish_time: Optional[float] = None
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def function_name(self) -> str:
+        return self.config.name
+
+    @property
+    def vcpus(self) -> float:
+        return self.config.vcpus
+
+    # -- accounting helpers ------------------------------------------------------
+
+    def charge_compute(self, flops: float) -> float:
+        """Advance the clock by the time to execute ``flops`` on this function."""
+        duration = self._platform.latency.faas_compute(flops, self.vcpus)
+        self.clock.advance(duration)
+        return duration
+
+    def charge_duration(self, seconds: float) -> float:
+        """Advance the clock by an explicit duration (serialisation, local I/O)."""
+        self.clock.advance(seconds)
+        return seconds
+
+    def account_memory(self, bytes_resident: float) -> None:
+        """Track peak memory and fail the invocation if it exceeds the limit."""
+        mb = bytes_resident / (1024.0 * 1024.0)
+        self.peak_memory_mb = max(self.peak_memory_mb, mb)
+        if self.peak_memory_mb > self.config.memory_mb:
+            self.failed_reason = "out_of_memory"
+            raise OutOfMemoryError(self.config.name, self.peak_memory_mb, self.config.memory_mb)
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Elapsed runtime so far (or total runtime once finished)."""
+        end = self._finish_time if self._finish_time is not None else self.clock.now
+        return end - self.started_at
+
+    def check_timeout(self) -> None:
+        """Fail the invocation if it has already exceeded its runtime limit."""
+        if self.runtime_seconds > self.config.timeout_seconds:
+            self.failed_reason = "timeout"
+            raise FunctionTimeoutError(
+                self.config.name, self.runtime_seconds, self.config.timeout_seconds
+            )
+
+    def finish(self, enforce_timeout: bool = True) -> float:
+        """Close the invocation, bill it, and return its total runtime."""
+        if self.finished:
+            return self.runtime_seconds
+        self.finished = True
+        self._finish_time = self.clock.now
+        self._platform._record_invocation(self)
+        if enforce_timeout and self.runtime_seconds > self.config.timeout_seconds:
+            self.failed_reason = "timeout"
+            raise FunctionTimeoutError(
+                self.config.name, self.runtime_seconds, self.config.timeout_seconds
+            )
+        return self.runtime_seconds
+
+
+@dataclass
+class InvocationRecord:
+    """Summary of a completed invocation, kept for reporting and tests."""
+
+    function_name: str
+    invocation_id: int
+    started_at: float
+    finished_at: float
+    runtime_seconds: float
+    memory_mb: int
+    cold: bool
+    gb_seconds: float
+    cost: float
+    failed_reason: Optional[str] = None
+
+
+class FaaSPlatform:
+    """The account-level FaaS control plane."""
+
+    def __init__(
+        self,
+        ledger: BillingLedger,
+        latency: LatencyModel,
+        prices: PriceBook,
+        concurrency_limit: int = 1000,
+    ):
+        self.ledger = ledger
+        self.latency = latency
+        self.prices = prices
+        self.concurrency_limit = concurrency_limit
+        self._functions: Dict[str, FunctionConfig] = {}
+        self._handlers: Dict[str, Callable[..., Any]] = {}
+        self._warm_environments: Dict[str, int] = {}
+        self._active_invocations = 0
+        self._next_invocation_id = 0
+        self.invocation_records: List[InvocationRecord] = []
+
+    # -- control plane ---------------------------------------------------------
+
+    def create_function(
+        self,
+        config: FunctionConfig,
+        handler: Optional[Callable[..., Any]] = None,
+    ) -> FunctionConfig:
+        if config.name in self._functions:
+            raise ResourceAlreadyExistsError(f"function '{config.name}' already exists")
+        self._functions[config.name] = config
+        if handler is not None:
+            self._handlers[config.name] = handler
+        self._warm_environments[config.name] = 0
+        return config
+
+    def get_function(self, name: str) -> FunctionConfig:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise ResourceNotFoundError(f"function '{name}' does not exist") from None
+
+    def delete_function(self, name: str) -> None:
+        if name not in self._functions:
+            raise ResourceNotFoundError(f"function '{name}' does not exist")
+        del self._functions[name]
+        self._handlers.pop(name, None)
+        self._warm_environments.pop(name, None)
+
+    def list_functions(self) -> List[str]:
+        return sorted(self._functions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    # -- data plane -----------------------------------------------------------------
+
+    def start_invocation(
+        self,
+        name: str,
+        invoker_clock: Optional[VirtualClock] = None,
+        at_time: Optional[float] = None,
+        force_cold: Optional[bool] = None,
+    ) -> FunctionInvocation:
+        """Begin an asynchronous invocation of function ``name``.
+
+        ``invoker_clock`` (when given) is advanced by the invoke API latency,
+        matching a parent worker or coordinator that spends time issuing the
+        request.  The new invocation starts after the invoke latency plus a
+        cold or warm start.
+        """
+        config = self.get_function(name)
+        if self._active_invocations >= self.concurrency_limit:
+            raise ConcurrencyLimitError(
+                f"account concurrency limit of {self.concurrency_limit} reached"
+            )
+
+        if invoker_clock is not None:
+            invoker_clock.advance(self.latency.faas_invoke())
+            request_time = invoker_clock.now
+        elif at_time is not None:
+            request_time = at_time
+        else:
+            request_time = 0.0
+
+        if force_cold is None:
+            cold = self._warm_environments.get(name, 0) <= 0
+        else:
+            cold = force_cold
+        if not cold:
+            self._warm_environments[name] -= 1
+
+        startup = self.latency.faas_startup(cold, config.memory_mb + config.package_mb)
+        invocation = FunctionInvocation(
+            config=config,
+            platform=self,
+            started_at=request_time + startup,
+            cold=cold,
+            invocation_id=self._next_invocation_id,
+        )
+        self._next_invocation_id += 1
+        self._active_invocations += 1
+        return invocation
+
+    def invoke(
+        self,
+        name: str,
+        payload: Any = None,
+        invoker_clock: Optional[VirtualClock] = None,
+        at_time: Optional[float] = None,
+    ) -> Any:
+        """Synchronously run the registered handler of function ``name``.
+
+        The handler receives ``(invocation, payload)`` and its return value is
+        passed through.  This is the simple request/response path used by the
+        coordinator, the serial variant and the managed-endpoint baseline.
+        """
+        if name not in self._handlers:
+            raise ResourceNotFoundError(f"function '{name}' has no registered handler")
+        invocation = self.start_invocation(name, invoker_clock=invoker_clock, at_time=at_time)
+        try:
+            result = self._handlers[name](invocation, payload)
+        except Exception:
+            if not invocation.finished:
+                invocation.finish(enforce_timeout=False)
+            raise
+        invocation.finish()
+        return result
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    def _record_invocation(self, invocation: FunctionInvocation) -> None:
+        self._active_invocations = max(0, self._active_invocations - 1)
+        self._warm_environments[invocation.function_name] = (
+            self._warm_environments.get(invocation.function_name, 0) + 1
+        )
+        gb_seconds = (invocation.config.memory_mb / 1024.0) * invocation.runtime_seconds
+        cost = (
+            self.prices.faas_price_per_invocation
+            + gb_seconds * self.prices.faas_price_per_gb_second
+        )
+        self.ledger.record(
+            service=SERVICE_FAAS,
+            operation="invocation",
+            resource=invocation.function_name,
+            quantity=1,
+            cost=self.prices.faas_price_per_invocation,
+            timestamp=invocation.clock.now,
+        )
+        self.ledger.record(
+            service=SERVICE_FAAS,
+            operation="gb_seconds",
+            resource=invocation.function_name,
+            quantity=gb_seconds,
+            cost=gb_seconds * self.prices.faas_price_per_gb_second,
+            timestamp=invocation.clock.now,
+        )
+        self.invocation_records.append(
+            InvocationRecord(
+                function_name=invocation.function_name,
+                invocation_id=invocation.invocation_id,
+                started_at=invocation.started_at,
+                finished_at=invocation.clock.now,
+                runtime_seconds=invocation.runtime_seconds,
+                memory_mb=invocation.config.memory_mb,
+                cold=invocation.cold,
+                gb_seconds=gb_seconds,
+                cost=cost,
+                failed_reason=invocation.failed_reason,
+            )
+        )
+
+    @property
+    def active_invocations(self) -> int:
+        return self._active_invocations
+
+    def warm_environment_count(self, name: str) -> int:
+        return self._warm_environments.get(name, 0)

@@ -1,0 +1,119 @@
+"""Price book for the simulated cloud services.
+
+The defaults mirror publicly documented AWS prices (us-east-1, late 2023),
+which is what the paper's cost model (Section IV) is parameterised with:
+
+* Lambda:   $0.20 per million requests, $0.0000166667 per GB-second.
+* SNS:      $0.50 per million publish requests (billed in 64 KB increments),
+            $0.09 per GB transferred from SNS to SQS.
+* SQS:      $0.40 per million API requests (send / receive / delete).
+* S3:       $0.005 per 1000 PUT/LIST requests, $0.0004 per 1000 GET requests.
+* EC2:      on-demand hourly prices for the c5 instances used as baselines.
+* EBS gp3:  $0.08 per GB-month.
+* SageMaker Serverless Inference: $0.000020 per GB-second plus a per-request
+  charge comparable to Lambda's.
+
+All prices are exposed as plain fields so what-if analyses (e.g. "what if GET
+requests were 10x cheaper?") only need a modified :class:`PriceBook`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["PriceBook", "EC2_HOURLY_PRICES"]
+
+
+#: On-demand hourly price (USD) of the EC2 instance types used by the paper's
+#: server-based baselines.
+EC2_HOURLY_PRICES: Dict[str, float] = {
+    "c5.large": 0.085,
+    "c5.xlarge": 0.17,
+    "c5.2xlarge": 0.34,
+    "c5.4xlarge": 0.68,
+    "c5.9xlarge": 1.53,
+    "c5.12xlarge": 2.04,
+    "c5.18xlarge": 3.06,
+    "c5.24xlarge": 4.08,
+}
+
+#: vCPU and memory (GiB) of the same instance types.
+EC2_INSTANCE_SPECS: Dict[str, Dict[str, float]] = {
+    "c5.large": {"vcpus": 2, "memory_gib": 4},
+    "c5.xlarge": {"vcpus": 4, "memory_gib": 8},
+    "c5.2xlarge": {"vcpus": 8, "memory_gib": 16},
+    "c5.4xlarge": {"vcpus": 16, "memory_gib": 32},
+    "c5.9xlarge": {"vcpus": 36, "memory_gib": 72},
+    "c5.12xlarge": {"vcpus": 48, "memory_gib": 96},
+    "c5.18xlarge": {"vcpus": 72, "memory_gib": 144},
+    "c5.24xlarge": {"vcpus": 96, "memory_gib": 192},
+}
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Unit prices used by the billing ledger and by the analytical cost model."""
+
+    # --- FaaS (Lambda) ----------------------------------------------------
+    faas_price_per_invocation: float = 0.20 / 1e6
+    faas_price_per_gb_second: float = 0.0000166667
+
+    # --- Pub/sub (SNS) ------------------------------------------------------
+    pubsub_price_per_publish: float = 0.50 / 1e6
+    #: publishes are billed in chunks of this many bytes (64 KB).
+    pubsub_billing_increment_bytes: int = 64 * 1024
+    pubsub_price_per_byte_delivered: float = 0.09 / (1024 ** 3)
+
+    # --- Queues (SQS) --------------------------------------------------------
+    queue_price_per_request: float = 0.40 / 1e6
+    #: SQS requests are also billed in 64 KB chunks.
+    queue_billing_increment_bytes: int = 64 * 1024
+
+    # --- Object storage (S3) -------------------------------------------------
+    object_price_per_put: float = 0.005 / 1000
+    object_price_per_get: float = 0.0004 / 1000
+    object_price_per_list: float = 0.005 / 1000
+    object_price_per_gb_month: float = 0.023
+
+    # --- Block storage (EBS gp3) ----------------------------------------------
+    block_price_per_gb_month: float = 0.08
+
+    # --- Server VMs (EC2) -------------------------------------------------------
+    vm_hourly_prices: Dict[str, float] = field(default_factory=lambda: dict(EC2_HOURLY_PRICES))
+
+    # --- Managed serverless endpoint (SageMaker Serverless) ---------------------
+    endpoint_price_per_gb_second: float = 0.000020
+    endpoint_price_per_invocation: float = 0.20 / 1e6
+
+    def vm_hourly_price(self, instance_type: str) -> float:
+        """Hourly on-demand price for ``instance_type``.
+
+        Raises ``KeyError`` for unknown instance types, which is deliberate:
+        silently pricing an unknown machine at $0 would corrupt every
+        cost-comparison experiment downstream.
+        """
+        return self.vm_hourly_prices[instance_type]
+
+    def pubsub_billed_requests(self, payload_bytes: int) -> int:
+        """Number of billed publish requests for one publish of ``payload_bytes``.
+
+        SNS bills each 64 KB chunk of a publish as a separate request, so a
+        single 256 KB publish-batch counts as four billed requests (Section
+        IV-A1 of the paper).
+        """
+        if payload_bytes <= 0:
+            return 1
+        increment = self.pubsub_billing_increment_bytes
+        return max(1, -(-payload_bytes // increment))
+
+    def queue_billed_requests(self, payload_bytes: int) -> int:
+        """Number of billed queue requests for a payload of ``payload_bytes``."""
+        if payload_bytes <= 0:
+            return 1
+        increment = self.queue_billing_increment_bytes
+        return max(1, -(-payload_bytes // increment))
+
+    def with_overrides(self, **overrides: float) -> "PriceBook":
+        """Return a copy of the price book with selected fields replaced."""
+        return replace(self, **overrides)

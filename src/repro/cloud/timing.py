@@ -1,0 +1,251 @@
+"""Virtual time primitives for the simulated cloud.
+
+The reproduction does not run on real AWS infrastructure, so wall-clock time
+would reflect Python interpreter overheads rather than cloud service
+behaviour.  Instead, every simulated actor (a FaaS worker, a server VM, an
+HPC rank) owns a :class:`VirtualClock`.  Service calls advance the caller's
+clock by latencies drawn from a :class:`LatencyModel`, and messages flowing
+between actors carry availability timestamps, so causality (a receiver cannot
+observe a message before the sender finished publishing it plus the delivery
+latency) is preserved without any real sleeping.
+
+The latency model is deterministic by default; optional jitter uses a seeded
+``numpy`` generator so that repeated runs produce identical timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["VirtualClock", "LatencyModel", "JitterModel"]
+
+
+class VirtualClock:
+    """A monotonically advancing per-actor clock measured in seconds.
+
+    The clock starts at ``start`` (default 0.0).  ``advance`` moves it forward
+    by a duration, ``advance_to`` moves it forward to an absolute point (and is
+    a no-op when the clock is already past that point), which is exactly the
+    semantics of "wait until the message is available".
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock by a negative duration ({seconds})")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` if it is in the future."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def copy(self) -> "VirtualClock":
+        return VirtualClock(self._now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+@dataclass
+class JitterModel:
+    """Optional multiplicative jitter applied to modelled latencies.
+
+    ``spread`` of 0.1 means each latency is multiplied by a factor drawn
+    uniformly from [0.9, 1.1].  A spread of 0 disables jitter entirely and is
+    the default, keeping timelines bit-for-bit reproducible.
+    """
+
+    spread: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spread < 1.0:
+            raise ValueError("jitter spread must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def apply(self, latency: float) -> float:
+        if self.spread == 0.0 or latency == 0.0:
+            return latency
+        factor = 1.0 + self._rng.uniform(-self.spread, self.spread)
+        return latency * factor
+
+
+@dataclass
+class LatencyModel:
+    """Latency and throughput constants for every simulated cloud service.
+
+    Values approximate publicly observable behaviour of the corresponding AWS
+    services in a single region (us-east-1).  They are deliberately exposed as
+    plain dataclass fields so experiments can perform sensitivity sweeps.
+
+    All latencies are in seconds; all bandwidths are in bytes per second.
+    """
+
+    # --- FaaS (AWS Lambda analogue) -------------------------------------
+    faas_cold_start_seconds: float = 0.35
+    faas_warm_start_seconds: float = 0.015
+    faas_invoke_api_seconds: float = 0.045
+    faas_runtime_init_per_mb_seconds: float = 1.5e-5
+    #: effective floating-point throughput of one Lambda vCPU running
+    #: numpy/scipy sparse kernels (far below peak hardware FLOPS).
+    faas_flops_per_vcpu: float = 6.0e8
+    #: download bandwidth from object storage into a function instance.
+    faas_storage_bandwidth_bps: float = 180e6
+
+    # --- Pub/sub (SNS analogue) -----------------------------------------
+    pubsub_publish_latency_seconds: float = 0.030
+    pubsub_publish_per_kb_seconds: float = 2.0e-6
+    pubsub_fanout_delivery_seconds: float = 0.055
+
+    # --- Queues (SQS analogue) -------------------------------------------
+    queue_receive_rtt_seconds: float = 0.020
+    queue_send_rtt_seconds: float = 0.015
+    queue_delete_rtt_seconds: float = 0.010
+    queue_empty_poll_backoff_seconds: float = 0.050
+
+    # --- Object storage (S3 analogue) ------------------------------------
+    object_put_latency_seconds: float = 0.035
+    object_get_latency_seconds: float = 0.022
+    object_list_latency_seconds: float = 0.030
+    object_bandwidth_bps: float = 120e6
+
+    # --- Block storage (EBS analogue) ------------------------------------
+    block_read_bandwidth_bps: float = 260e6
+    block_read_latency_seconds: float = 0.002
+
+    # --- Server VMs (EC2 analogue) ----------------------------------------
+    vm_job_scoped_startup_seconds: float = 150.0
+    vm_always_on_dispatch_seconds: float = 0.050
+    #: effective per-vCPU throughput for the same sparse kernels on a
+    #: compute-optimised server (slightly better than Lambda due to
+    #: sustained clocks and absent FaaS virtualisation overheads).
+    vm_flops_per_vcpu: float = 7.5e8
+    vm_parallel_efficiency: float = 0.72
+
+    # --- HPC baseline (on-premise cluster with MPI) -----------------------
+    hpc_flops_per_core: float = 9.0e8
+    hpc_cores_per_node: int = 24
+    hpc_nodes: int = 4
+    hpc_interconnect_bandwidth_bps: float = 10e9
+    hpc_interconnect_latency_seconds: float = 5e-6
+    hpc_parallel_efficiency: float = 0.85
+
+    # --- Managed serverless endpoint (SageMaker Serverless analogue) ------
+    endpoint_overhead_seconds: float = 0.120
+    endpoint_flops_per_vcpu: float = 5.5e8
+
+    jitter: JitterModel = field(default_factory=JitterModel)
+
+    def with_jitter(self, spread: float, seed: int = 0) -> "LatencyModel":
+        """Return a copy of this model with multiplicative jitter enabled."""
+        return replace(self, jitter=JitterModel(spread=spread, seed=seed))
+
+    # -- helpers ------------------------------------------------------------
+
+    def _j(self, latency: float) -> float:
+        return self.jitter.apply(latency)
+
+    def faas_startup(self, cold: bool, memory_mb: float) -> float:
+        """Time to bring a function instance to the point where user code runs."""
+        base = self.faas_cold_start_seconds if cold else self.faas_warm_start_seconds
+        init = self.faas_runtime_init_per_mb_seconds * memory_mb if cold else 0.0
+        return self._j(base + init)
+
+    def faas_invoke(self) -> float:
+        """Time spent by the caller issuing an asynchronous invoke API request."""
+        return self._j(self.faas_invoke_api_seconds)
+
+    def faas_compute(self, flops: float, vcpus: float) -> float:
+        """Time to execute ``flops`` floating point operations on a function."""
+        if flops <= 0:
+            return 0.0
+        vcpus = max(vcpus, 1e-6)
+        return flops / (self.faas_flops_per_vcpu * vcpus)
+
+    def faas_storage_read(self, size_bytes: int) -> float:
+        """Time to stream ``size_bytes`` from object storage into a function."""
+        return self._j(self.object_get_latency_seconds + size_bytes / self.faas_storage_bandwidth_bps)
+
+    def pubsub_publish(self, payload_bytes: int) -> float:
+        """Caller-side latency of one publish(-batch) API call."""
+        return self._j(
+            self.pubsub_publish_latency_seconds
+            + self.pubsub_publish_per_kb_seconds * (payload_bytes / 1024.0)
+        )
+
+    def pubsub_delivery(self) -> float:
+        """Service-side delay before a published message lands in a queue."""
+        return self._j(self.pubsub_fanout_delivery_seconds)
+
+    def queue_receive(self) -> float:
+        return self._j(self.queue_receive_rtt_seconds)
+
+    def queue_send(self, payload_bytes: int) -> float:
+        return self._j(
+            self.queue_send_rtt_seconds + self.pubsub_publish_per_kb_seconds * (payload_bytes / 1024.0)
+        )
+
+    def queue_delete(self) -> float:
+        return self._j(self.queue_delete_rtt_seconds)
+
+    def object_put(self, size_bytes: int) -> float:
+        return self._j(self.object_put_latency_seconds + size_bytes / self.object_bandwidth_bps)
+
+    def object_get(self, size_bytes: int) -> float:
+        return self._j(self.object_get_latency_seconds + size_bytes / self.object_bandwidth_bps)
+
+    def object_list(self) -> float:
+        return self._j(self.object_list_latency_seconds)
+
+    def block_read(self, size_bytes: int) -> float:
+        return self._j(self.block_read_latency_seconds + size_bytes / self.block_read_bandwidth_bps)
+
+    def vm_compute(self, flops: float, vcpus: int) -> float:
+        """Time to execute ``flops`` on a server VM using ``vcpus`` cores."""
+        if flops <= 0:
+            return 0.0
+        effective = self.vm_flops_per_vcpu * max(vcpus, 1) * self.vm_parallel_efficiency
+        return flops / effective
+
+    def hpc_compute(self, flops: float, ranks: int) -> float:
+        if flops <= 0:
+            return 0.0
+        total_cores = min(ranks, self.hpc_cores_per_node * self.hpc_nodes)
+        effective = self.hpc_flops_per_core * max(total_cores, 1) * self.hpc_parallel_efficiency
+        return flops / effective
+
+    def hpc_transfer(self, size_bytes: int) -> float:
+        return self.hpc_interconnect_latency_seconds + size_bytes / self.hpc_interconnect_bandwidth_bps
+
+    def endpoint_compute(self, flops: float, vcpus: float) -> float:
+        if flops <= 0:
+            return 0.0
+        return flops / (self.endpoint_flops_per_vcpu * max(vcpus, 1e-6))
+
+
+def merge_latency_overrides(base: Optional[LatencyModel] = None, **overrides: float) -> LatencyModel:
+    """Build a :class:`LatencyModel` from ``base`` with selected fields replaced.
+
+    Convenience for experiments that sweep a single latency constant, e.g.
+    ``merge_latency_overrides(object_put_latency_seconds=0.1)``.
+    """
+    base = base or LatencyModel()
+    return replace(base, **overrides)

@@ -1,0 +1,182 @@
+"""Simulated server instances (AWS EC2 analogue).
+
+The paper compares FSD-Inference against two server-based provisioning
+patterns (Section VI-B):
+
+* **Server-Always-On** -- large instances left running between queries and
+  billed around the clock; queries dispatch immediately but the model may
+  have to be loaded from block storage ("hot") or object storage ("cold").
+* **Server-Job-Scoped** -- an appropriately sized instance is booted for each
+  request and shut down afterwards; billing covers only the job duration but
+  every query pays the instance start-up delay (minutes).
+
+The VM abstraction models instance specs (vCPU / memory), start-up latency,
+compute throughput and hourly billing; the baseline logic that uses it lives
+in ``repro.baselines.server``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .billing import SERVICE_VM, BillingLedger
+from .errors import InvalidRequestError, ResourceNotFoundError
+from .pricing import EC2_INSTANCE_SPECS, PriceBook
+from .timing import LatencyModel, VirtualClock
+
+__all__ = ["InstanceSpec", "VirtualMachine", "VMService"]
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Hardware shape of a server instance type."""
+
+    instance_type: str
+    vcpus: int
+    memory_gib: float
+
+    @classmethod
+    def for_type(cls, instance_type: str) -> "InstanceSpec":
+        try:
+            spec = EC2_INSTANCE_SPECS[instance_type]
+        except KeyError:
+            raise InvalidRequestError(f"unknown instance type '{instance_type}'") from None
+        return cls(
+            instance_type=instance_type,
+            vcpus=int(spec["vcpus"]),
+            memory_gib=float(spec["memory_gib"]),
+        )
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gib * 1024 ** 3
+
+
+class VirtualMachine:
+    """A single server instance with its own virtual clock."""
+
+    def __init__(
+        self,
+        name: str,
+        spec: InstanceSpec,
+        ledger: BillingLedger,
+        latency: LatencyModel,
+        prices: PriceBook,
+        always_on: bool,
+    ):
+        self.name = name
+        self.spec = spec
+        self._ledger = ledger
+        self._latency = latency
+        self._prices = prices
+        self.always_on = always_on
+        self.clock = VirtualClock()
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self, at_time: float = 0.0) -> float:
+        """Boot the instance; returns the time at which it is ready for work.
+
+        Always-on instances are assumed to already be running, so only a
+        dispatch delay applies; job-scoped instances pay the full provisioning
+        and boot delay.
+        """
+        self.clock = VirtualClock(at_time)
+        if self.always_on:
+            self.clock.advance(self._latency.vm_always_on_dispatch_seconds)
+        else:
+            self.clock.advance(self._latency.vm_job_scoped_startup_seconds)
+        self.started_at = at_time
+        self.stopped_at = None
+        return self.clock.now
+
+    def stop(self) -> float:
+        """Shut the instance down and bill the elapsed duration."""
+        if self.started_at is None:
+            raise InvalidRequestError(f"instance '{self.name}' was never started")
+        self.stopped_at = self.clock.now
+        duration = self.stopped_at - self.started_at
+        self._bill_duration(duration, self.stopped_at)
+        return duration
+
+    def bill_always_on_period(self, hours: float, timestamp: float = 0.0) -> float:
+        """Bill a standing always-on period (e.g. 24 hours) regardless of usage."""
+        if hours < 0:
+            raise InvalidRequestError("cannot bill a negative number of hours")
+        cost = hours * self._prices.vm_hourly_price(self.spec.instance_type)
+        self._ledger.record(
+            service=SERVICE_VM,
+            operation="instance_hours",
+            resource=f"{self.name}:{self.spec.instance_type}",
+            quantity=hours,
+            cost=cost,
+            timestamp=timestamp,
+        )
+        return cost
+
+    def _bill_duration(self, seconds: float, timestamp: float) -> float:
+        hours = seconds / 3600.0
+        return self.bill_always_on_period(hours, timestamp)
+
+    # -- work ------------------------------------------------------------------------
+
+    def run_compute(self, flops: float, vcpus: Optional[int] = None) -> float:
+        """Advance the clock by the time to execute ``flops`` on this instance."""
+        used = vcpus if vcpus is not None else self.spec.vcpus
+        used = min(used, self.spec.vcpus)
+        duration = self._latency.vm_compute(flops, used)
+        self.clock.advance(duration)
+        return duration
+
+    def load_from_block(self, size_bytes: int) -> float:
+        """Advance the clock by the time to read ``size_bytes`` from block storage."""
+        duration = self._latency.block_read(size_bytes)
+        self.clock.advance(duration)
+        return duration
+
+    def load_from_object_storage(self, size_bytes: int) -> float:
+        """Advance the clock by the time to fetch ``size_bytes`` from object storage."""
+        duration = self._latency.object_get(size_bytes) + size_bytes / self._latency.faas_storage_bandwidth_bps
+        self.clock.advance(duration)
+        return duration
+
+    def hourly_price(self) -> float:
+        return self._prices.vm_hourly_price(self.spec.instance_type)
+
+    def fits_in_memory(self, required_bytes: float) -> bool:
+        return required_bytes <= self.spec.memory_bytes
+
+
+class VMService:
+    """Account-level instance registry (the EC2 control plane)."""
+
+    def __init__(self, ledger: BillingLedger, latency: LatencyModel, prices: PriceBook):
+        self._ledger = ledger
+        self._latency = latency
+        self._prices = prices
+        self._instances: Dict[str, VirtualMachine] = {}
+        self._next_id = 0
+
+    def launch(self, instance_type: str, always_on: bool = False, name: Optional[str] = None) -> VirtualMachine:
+        spec = InstanceSpec.for_type(instance_type)
+        if name is None:
+            name = f"i-{self._next_id:06d}"
+            self._next_id += 1
+        vm = VirtualMachine(name, spec, self._ledger, self._latency, self._prices, always_on)
+        self._instances[name] = vm
+        return vm
+
+    def get(self, name: str) -> VirtualMachine:
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise ResourceNotFoundError(f"instance '{name}' does not exist") from None
+
+    def list_instances(self) -> List[str]:
+        return sorted(self._instances)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instances

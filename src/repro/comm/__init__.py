@@ -1,0 +1,44 @@
+"""Fully serverless inter-worker communication channels and collectives."""
+
+from .base import (
+    ChannelCapabilities,
+    ChannelStats,
+    CommChannel,
+    PollResult,
+    ReceivedBlock,
+    SendResult,
+    ThreadPool,
+)
+from .collectives import all_gather_rows, barrier, broadcast_rows, reduce_to_root
+from .object_channel import ObjectChannel, ObjectChannelConfig
+from .payload import (
+    EncodedChunk,
+    chunk_rows,
+    decode_row_payload,
+    encode_row_payload,
+    estimate_payload_bytes,
+)
+from .queue_channel import QueueChannel, QueueChannelConfig
+
+__all__ = [
+    "ChannelCapabilities",
+    "ChannelStats",
+    "CommChannel",
+    "PollResult",
+    "ReceivedBlock",
+    "SendResult",
+    "ThreadPool",
+    "all_gather_rows",
+    "barrier",
+    "broadcast_rows",
+    "reduce_to_root",
+    "ObjectChannel",
+    "ObjectChannelConfig",
+    "EncodedChunk",
+    "chunk_rows",
+    "decode_row_payload",
+    "encode_row_payload",
+    "estimate_payload_bytes",
+    "QueueChannel",
+    "QueueChannelConfig",
+]

@@ -1,0 +1,194 @@
+"""Communication channel interface shared by FSD-Inf-Queue and FSD-Inf-Object.
+
+A channel knows how to move activation rows between FaaS workers using one
+family of fully serverless cloud services, how to account for the caller's
+virtual time while doing so (including the multi-threaded overlap the paper
+uses inside each worker), and how to report its own traffic statistics.
+
+The interface is deliberately small -- ``prepare``, ``send``, ``poll``,
+``send_final`` / ``poll_final`` (for the end-of-inference reduction) -- so the
+worker code in :mod:`repro.core.worker` reads like Algorithms 1 and 2 of the
+paper, and so alternative channels (e.g. a hypothetical NoSQL-based one) can
+be added without touching the engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+from scipy import sparse
+
+from ..cloud import VirtualClock
+
+__all__ = [
+    "ChannelCapabilities",
+    "ChannelStats",
+    "ReceivedBlock",
+    "PollResult",
+    "SendResult",
+    "CommChannel",
+    "ThreadPool",
+]
+
+
+@dataclass(frozen=True)
+class ChannelCapabilities:
+    """Qualitative feature profile of a communication channel (paper Table I)."""
+
+    name: str
+    serverless: bool
+    low_latency_high_throughput: bool
+    cost_effective: bool
+    flexible_payloads: bool
+    many_producers_consumers: bool
+    service_side_filtering: bool
+    direct_consumer_access: bool
+
+
+@dataclass
+class ChannelStats:
+    """Traffic counters accumulated by a channel across one inference run."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    payload_nnz_sent: int = 0
+    messages_sent: int = 0
+    publish_calls: int = 0
+    poll_calls: int = 0
+    empty_polls: int = 0
+    put_calls: int = 0
+    get_calls: int = 0
+    list_calls: int = 0
+    delete_calls: int = 0
+
+    def merge(self, other: "ChannelStats") -> "ChannelStats":
+        merged = ChannelStats()
+        for name in vars(merged):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+
+@dataclass(frozen=True)
+class ReceivedBlock:
+    """Activation rows received from one source worker."""
+
+    source: int
+    global_rows: np.ndarray
+    rows: sparse.csr_matrix
+    bytes_received: int
+
+
+@dataclass
+class PollResult:
+    """Outcome of one receive/poll/scan iteration."""
+
+    blocks: List[ReceivedBlock] = field(default_factory=list)
+    completed_sources: Set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class SendResult:
+    """Accounting of one logical send (source -> target, one layer)."""
+
+    bytes_sent: int
+    chunks: int
+    api_calls: int
+
+
+class ThreadPool:
+    """Virtual-time model of a worker's I/O thread pool.
+
+    The paper parallelises message publication and object reads with
+    ``concurrent.futures.ThreadPoolExecutor`` inside each worker.  In virtual
+    time this is modelled exactly like a scheduler would: each of the
+    ``threads`` lanes has its own finish time, work items are dispatched to
+    the earliest-available lane, and when the pool is joined the owner clock
+    advances to the latest lane finish time.
+    """
+
+    def __init__(self, owner_clock: VirtualClock, threads: int):
+        if threads < 1:
+            raise ValueError("a thread pool needs at least one thread")
+        self._owner = owner_clock
+        self._lanes = [owner_clock.now] * threads
+
+    def run(self, work) -> object:
+        """Run ``work(clock)`` on the earliest-available lane.
+
+        ``work`` receives a :class:`VirtualClock` positioned at the lane's
+        current finish time and must perform its service calls against it.
+        Returns whatever ``work`` returns.
+        """
+        lane = min(range(len(self._lanes)), key=lambda i: self._lanes[i])
+        clock = VirtualClock(max(self._lanes[lane], self._owner.now))
+        result = work(clock)
+        self._lanes[lane] = clock.now
+        return result
+
+    def join(self) -> float:
+        """Advance the owner clock to the completion of every lane."""
+        finish = max(self._lanes) if self._lanes else self._owner.now
+        self._owner.advance_to(finish)
+        return self._owner.now
+
+
+class CommChannel(ABC):
+    """Abstract fully-serverless point-to-point communication channel."""
+
+    #: filled in by concrete channels.
+    capabilities: ChannelCapabilities
+
+    def __init__(self) -> None:
+        self.stats = ChannelStats()
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    @abstractmethod
+    def prepare(self, num_workers: int) -> None:
+        """Create (or look up) the cloud resources the channel needs.
+
+        The paper pre-creates communication resources offline at no ongoing
+        cost, so this step performs no billing.
+        """
+
+    # -- data plane --------------------------------------------------------------------
+
+    @abstractmethod
+    def send(
+        self,
+        layer: int,
+        source: int,
+        target: int,
+        global_rows: Sequence[int],
+        rows: sparse.spmatrix,
+        pool: ThreadPool,
+    ) -> SendResult:
+        """Ship activation rows from ``source`` to ``target`` for ``layer``."""
+
+    @abstractmethod
+    def poll(
+        self,
+        layer: int,
+        worker: int,
+        pending_sources: Set[int],
+        clock: VirtualClock,
+        pool: Optional[ThreadPool] = None,
+    ) -> PollResult:
+        """Attempt to receive inbound rows for ``worker`` in ``layer``.
+
+        ``pending_sources`` is the set of sources the worker is still waiting
+        for; the channel may use it to skip already-received data (the
+        paper's redundant-read avoidance).
+        """
+
+    # -- convenience used by the collectives ---------------------------------------------
+
+    def reduction_layer(self, num_layers: int) -> int:
+        """Virtual layer index used for the final Reduce to worker 0."""
+        return num_layers
+
+    def reset_stats(self) -> None:
+        self.stats = ChannelStats()

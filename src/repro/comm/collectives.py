@@ -1,0 +1,173 @@
+"""MPI-style collective operations over the serverless channels.
+
+The paper's execution finishes each batch with a Barrier followed by a Reduce
+of every worker's final-layer activations to worker 0 (Algorithms 1 and 2,
+lines 19-20 / 25-26), and lists Broadcast/Reduce among the MPI primitives the
+system provides.  These collectives are built purely on the point-to-point
+channel primitives, so they remain fully serverless.
+
+In the virtual-time model a barrier is simply "every participant advances to
+the latest participant's clock"; the data movement of Reduce/Broadcast still
+travels through the channel (and is therefore billed and timed like any other
+transfer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..cloud import VirtualClock
+from .base import CommChannel, PollResult, ThreadPool
+
+__all__ = ["barrier", "reduce_to_root", "broadcast_rows", "all_gather_rows"]
+
+
+def barrier(clocks: Sequence[VirtualClock], overhead_seconds: float = 0.0) -> float:
+    """Synchronise every clock to the latest participant (plus optional overhead).
+
+    Returns the synchronised time.
+    """
+    if not clocks:
+        raise ValueError("a barrier needs at least one participant")
+    latest = max(clock.now for clock in clocks) + overhead_seconds
+    for clock in clocks:
+        clock.advance_to(latest)
+    return latest
+
+
+def reduce_to_root(
+    channel: CommChannel,
+    layer: int,
+    root: int,
+    contributions: Dict[int, tuple],
+    clocks: Dict[int, VirtualClock],
+    io_threads: int = 1,
+    num_columns: Optional[int] = None,
+) -> sparse.csr_matrix:
+    """Gather every worker's rows at ``root`` and assemble the full matrix.
+
+    ``contributions[m]`` is ``(global_rows, csr_rows)`` for worker ``m``.
+    Non-root workers send through the channel; the root polls until it has
+    heard from every other worker, then stitches the rows into a single
+    matrix ordered by global row index.
+    """
+    if root not in contributions:
+        raise ValueError(f"root worker {root} has no contribution")
+
+    workers = sorted(contributions)
+    for worker in workers:
+        if worker == root:
+            continue
+        rows_ids, rows_matrix = contributions[worker]
+        pool = ThreadPool(clocks[worker], io_threads)
+        channel.send(layer, worker, root, rows_ids, rows_matrix, pool)
+        pool.join()
+
+    pending = {worker for worker in workers if worker != root}
+    received: Dict[int, tuple] = {root: contributions[root]}
+    root_clock = clocks[root]
+    # The root cannot observe data sent "in its future"; polling naturally
+    # advances its clock until everything has arrived.
+    while pending:
+        result: PollResult = channel.poll(layer, root, pending, root_clock)
+        for block in result.blocks:
+            received[block.source] = (block.global_rows, block.rows)
+        pending -= result.completed_sources
+
+    all_rows = []
+    all_matrices = []
+    for worker in sorted(received):
+        rows_ids, rows_matrix = received[worker]
+        if len(rows_ids) == 0:
+            continue
+        all_rows.append(np.asarray(rows_ids, dtype=np.int64))
+        all_matrices.append(rows_matrix)
+
+    if not all_matrices:
+        columns = num_columns if num_columns is not None else 0
+        return sparse.csr_matrix((0, columns), dtype=np.float64)
+
+    stacked_rows = np.concatenate(all_rows)
+    stacked = sparse.vstack(all_matrices, format="csr")
+    order = np.argsort(stacked_rows, kind="stable")
+    total_rows = int(stacked_rows.max()) + 1
+    columns = num_columns if num_columns is not None else stacked.shape[1]
+    assembled = sparse.lil_matrix((total_rows, columns), dtype=np.float64)
+    reordered = stacked[order, :]
+    sorted_rows = stacked_rows[order]
+    assembled[sorted_rows, :] = reordered
+    return assembled.tocsr()
+
+
+def broadcast_rows(
+    channel: CommChannel,
+    layer: int,
+    root: int,
+    global_rows: np.ndarray,
+    rows: sparse.spmatrix,
+    clocks: Dict[int, VirtualClock],
+    io_threads: int = 1,
+) -> Dict[int, tuple]:
+    """Send the same rows from ``root`` to every other worker.
+
+    Returns, per receiving worker, the ``(global_rows, rows)`` it observed.
+    """
+    workers = sorted(clocks)
+    pool = ThreadPool(clocks[root], io_threads)
+    for worker in workers:
+        if worker == root:
+            continue
+        channel.send(layer, root, worker, global_rows, rows, pool)
+    pool.join()
+
+    results: Dict[int, tuple] = {root: (np.asarray(global_rows), rows)}
+    for worker in workers:
+        if worker == root:
+            continue
+        pending = {root}
+        clock = clocks[worker]
+        while pending:
+            outcome = channel.poll(layer, worker, pending, clock)
+            for block in outcome.blocks:
+                results[worker] = (block.global_rows, block.rows)
+            pending -= outcome.completed_sources
+    return results
+
+
+def all_gather_rows(
+    channel: CommChannel,
+    layer: int,
+    contributions: Dict[int, tuple],
+    clocks: Dict[int, VirtualClock],
+    io_threads: int = 1,
+) -> Dict[int, Dict[int, tuple]]:
+    """Every worker receives every other worker's contribution.
+
+    Implemented as P independent sends per worker followed by polling, which
+    is how an AllGather decomposes over point-to-point serverless channels.
+    Returns ``{receiver: {source: (global_rows, rows)}}``.
+    """
+    workers = sorted(contributions)
+    for source in workers:
+        rows_ids, rows_matrix = contributions[source]
+        pool = ThreadPool(clocks[source], io_threads)
+        for target in workers:
+            if target == source:
+                continue
+            channel.send(layer, source, target, rows_ids, rows_matrix, pool)
+        pool.join()
+
+    gathered: Dict[int, Dict[int, tuple]] = {}
+    for receiver in workers:
+        gathered[receiver] = {receiver: contributions[receiver]}
+        pending = {w for w in workers if w != receiver}
+        clock = clocks[receiver]
+        while pending:
+            outcome = channel.poll(layer, receiver, pending, clock)
+            for block in outcome.blocks:
+                gathered[receiver][block.source] = (block.global_rows, block.rows)
+            pending -= outcome.completed_sources
+    return gathered

@@ -1,0 +1,178 @@
+"""Payload encoding for inter-worker activation transfers.
+
+Workers exchange *rows of the activation matrix* (``x^{k-1}`` in the paper).
+A payload is a set of global row indices plus the corresponding sparse rows,
+serialised compactly and ZLIB-compressed (Section IV-B notes that both
+channels compress with ZLIB to reduce communication volume).
+
+For the pub-sub/queueing channel the payload must additionally be chunked to
+respect the provider's 256 KB message limit.  The chunking follows the
+paper's heuristic: the number of nonzeros per row estimates how many rows fit
+into one message, rows are grouped greedily to maximise utilisation of the
+allowed message size, and each group is compressed exactly once.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..sparse import as_csr
+
+__all__ = [
+    "encode_row_payload",
+    "decode_row_payload",
+    "chunk_rows",
+    "estimate_payload_bytes",
+    "EncodedChunk",
+]
+
+_MAGIC = b"FSDP"
+_HEADER = struct.Struct("<4sIIQ")  # magic, n_rows, n_cols, nnz
+#: Bytes of value+index storage per stored nonzero (float32 + int32).
+_BYTES_PER_NNZ = 8
+#: Fixed per-row overhead (row id + indptr entry).
+_BYTES_PER_ROW = 16
+#: Conservative compression ratio assumed by the chunking heuristic.
+_ASSUMED_COMPRESSION = 0.6
+
+
+@dataclass(frozen=True)
+class EncodedChunk:
+    """One encoded (and possibly compressed) group of activation rows."""
+
+    payload: bytes
+    row_count: int
+    nnz: int
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
+def encode_row_payload(
+    global_rows: Sequence[int],
+    rows: sparse.spmatrix,
+    compress: bool = True,
+) -> bytes:
+    """Serialise ``rows`` (CSR, one row per entry of ``global_rows``)."""
+    rows = as_csr(rows).astype(np.float64)
+    global_rows = np.asarray(global_rows, dtype=np.int64)
+    if rows.shape[0] != len(global_rows):
+        raise ValueError(
+            f"payload has {rows.shape[0]} matrix rows but {len(global_rows)} row indices"
+        )
+    buffer = io.BytesIO()
+    buffer.write(_HEADER.pack(_MAGIC, rows.shape[0], rows.shape[1], rows.nnz))
+    buffer.write(global_rows.tobytes())
+    buffer.write(rows.indptr.astype(np.int64).tobytes())
+    buffer.write(rows.indices.astype(np.int32).tobytes())
+    buffer.write(rows.data.astype(np.float64).tobytes())
+    raw = buffer.getvalue()
+    if compress:
+        return b"Z" + zlib.compress(raw, level=6)
+    return b"R" + raw
+
+
+def decode_row_payload(payload: bytes) -> Tuple[np.ndarray, sparse.csr_matrix]:
+    """Inverse of :func:`encode_row_payload`."""
+    if not payload:
+        raise ValueError("cannot decode an empty payload")
+    marker, body = payload[:1], payload[1:]
+    if marker == b"Z":
+        raw = zlib.decompress(body)
+    elif marker == b"R":
+        raw = body
+    else:
+        raise ValueError(f"unknown payload marker {marker!r}")
+    magic, n_rows, n_cols, nnz = _HEADER.unpack_from(raw, 0)
+    if magic != _MAGIC:
+        raise ValueError("payload is not an encoded row block")
+    offset = _HEADER.size
+    global_rows = np.frombuffer(raw, dtype=np.int64, count=n_rows, offset=offset).copy()
+    offset += global_rows.nbytes
+    indptr = np.frombuffer(raw, dtype=np.int64, count=n_rows + 1, offset=offset)
+    offset += indptr.nbytes
+    indices = np.frombuffer(raw, dtype=np.int32, count=nnz, offset=offset)
+    offset += indices.nbytes
+    data = np.frombuffer(raw, dtype=np.float64, count=nnz, offset=offset)
+    matrix = sparse.csr_matrix((data, indices, indptr), shape=(n_rows, n_cols))
+    return global_rows, matrix
+
+
+def estimate_payload_bytes(row_nnz: np.ndarray, num_rows: int) -> float:
+    """Heuristic encoded size of a group of rows with the given nonzero counts."""
+    raw = _HEADER.size + num_rows * _BYTES_PER_ROW + float(row_nnz.sum()) * _BYTES_PER_NNZ
+    return raw * _ASSUMED_COMPRESSION
+
+
+def chunk_rows(
+    global_rows: Sequence[int],
+    rows: sparse.spmatrix,
+    max_chunk_bytes: int,
+    compress: bool = True,
+) -> List[EncodedChunk]:
+    """Split a row block into encoded chunks no larger than ``max_chunk_bytes``.
+
+    Rows are grouped greedily using the NNZ-based size heuristic (grouping and
+    compressing each group exactly once, as in Section III-C1); if a compressed
+    group still exceeds the limit it is split recursively.  Always returns at
+    least one chunk, even for an empty row set, so receivers can account for
+    senders that had nothing to transmit.
+    """
+    rows = as_csr(rows)
+    global_rows = np.asarray(global_rows, dtype=np.int64)
+    if max_chunk_bytes <= _HEADER.size + _BYTES_PER_ROW:
+        raise ValueError(f"max_chunk_bytes of {max_chunk_bytes} is too small to hold any row")
+
+    if len(global_rows) == 0:
+        empty = sparse.csr_matrix((0, rows.shape[1]), dtype=np.float64)
+        payload = encode_row_payload(global_rows, empty, compress)
+        return [EncodedChunk(payload=payload, row_count=0, nnz=0)]
+
+    row_nnz = np.diff(rows.indptr)
+    chunks: List[EncodedChunk] = []
+
+    def encode_group(start: int, stop: int) -> None:
+        """Encode rows [start, stop); split recursively if too large."""
+        group_rows = global_rows[start:stop]
+        group_matrix = rows[start:stop, :]
+        payload = encode_row_payload(group_rows, group_matrix, compress)
+        if len(payload) > max_chunk_bytes and stop - start > 1:
+            middle = (start + stop) // 2
+            encode_group(start, middle)
+            encode_group(middle, stop)
+            return
+        chunks.append(
+            EncodedChunk(
+                payload=payload,
+                row_count=stop - start,
+                nnz=int(row_nnz[start:stop].sum()),
+            )
+        )
+
+    start = 0
+    current_rows = 0
+    current_nnz = 0.0
+    for index in range(len(global_rows)):
+        candidate_nnz = current_nnz + row_nnz[index]
+        candidate_rows = current_rows + 1
+        estimated = estimate_payload_bytes(
+            np.array([candidate_nnz]), candidate_rows
+        )
+        if estimated > max_chunk_bytes and current_rows > 0:
+            encode_group(start, index)
+            start = index
+            current_rows = 1
+            current_nnz = float(row_nnz[index])
+        else:
+            current_rows = candidate_rows
+            current_nnz = candidate_nnz
+    encode_group(start, len(global_rows))
+    return chunks

@@ -1,0 +1,22 @@
+"""FSD-Inference core engine: configuration, launch tree, workers, metrics."""
+
+from .config import EngineConfig, Variant
+from .engine import FSDInference, InferenceResult
+from .launch import LaunchResult, LaunchTree, launch_worker_tree
+from .metrics import InferenceMetrics, LayerMetrics, WorkerMetrics
+from .worker import FSIWorker, StagedDataLayout
+
+__all__ = [
+    "EngineConfig",
+    "Variant",
+    "FSDInference",
+    "InferenceResult",
+    "LaunchResult",
+    "LaunchTree",
+    "launch_worker_tree",
+    "InferenceMetrics",
+    "LayerMetrics",
+    "WorkerMetrics",
+    "FSIWorker",
+    "StagedDataLayout",
+]

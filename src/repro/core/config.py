@@ -1,0 +1,103 @@
+"""Engine configuration for FSD-Inference runs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cloud import MAX_MEMORY_MB, MAX_TIMEOUT_SECONDS, MIN_MEMORY_MB
+from ..workloads import PAPER_WORKER_MEMORY_MB
+
+__all__ = ["Variant", "EngineConfig"]
+
+
+class Variant(enum.Enum):
+    """Which FSD-Inference execution/communication variant to run."""
+
+    SERIAL = "serial"
+    QUEUE = "queue"
+    OBJECT = "object"
+
+    @property
+    def is_distributed(self) -> bool:
+        return self is not Variant.SERIAL
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Run-time parameters of an FSD-Inference deployment.
+
+    Mirrors the knobs the paper exposes: variant, worker parallelism ``P``,
+    per-worker memory, the hierarchical launch branching factor, the number
+    of pub/sub topics or object buckets, long-polling behaviour, compression
+    and the per-worker I/O thread count.
+    """
+
+    variant: Variant = Variant.QUEUE
+    workers: int = 8
+    worker_memory_mb: Optional[int] = None
+    coordinator_memory_mb: int = 128
+    serial_memory_mb: int = MAX_MEMORY_MB
+    timeout_seconds: float = MAX_TIMEOUT_SECONDS
+    branching_factor: int = 4
+    io_threads: int = 4
+
+    # Pub/sub + queue channel knobs.
+    num_topics: int = 10
+    long_poll_wait_seconds: float = 5.0
+    use_long_polling: bool = True
+
+    # Object storage channel knobs.
+    num_buckets: int = 10
+
+    # Shared knobs.
+    compress: bool = True
+    data_bucket: str = "fsd-data"
+    resource_prefix: str = "fsd"
+    #: multiplier on the partition footprint when auto-sizing worker memory.
+    memory_headroom: float = 2.5
+    #: baseline resident memory of the language runtime and libraries inside a
+    #: FaaS instance (Python + numpy/scipy in the paper's deployment); counted
+    #: against the configured memory limit on top of model/activation data.
+    memory_overhead_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.variant is Variant.SERIAL and self.workers != 1:
+            raise ValueError("the serial variant runs on exactly one worker")
+        if self.worker_memory_mb is not None and not (
+            MIN_MEMORY_MB <= self.worker_memory_mb <= MAX_MEMORY_MB
+        ):
+            raise ValueError(
+                f"worker_memory_mb must be within [{MIN_MEMORY_MB}, {MAX_MEMORY_MB}]"
+            )
+        if not MIN_MEMORY_MB <= self.coordinator_memory_mb <= MAX_MEMORY_MB:
+            raise ValueError("coordinator_memory_mb outside the FaaS limits")
+        if self.branching_factor < 1:
+            raise ValueError("branching_factor must be at least 1")
+        if self.io_threads < 1:
+            raise ValueError("io_threads must be at least 1")
+        if self.num_topics < 1 or self.num_buckets < 1:
+            raise ValueError("num_topics and num_buckets must be at least 1")
+        if self.memory_headroom < 1.0:
+            raise ValueError("memory_headroom must be at least 1.0")
+        if self.memory_overhead_mb < 0.0:
+            raise ValueError("memory_overhead_mb cannot be negative")
+
+    def resolve_worker_memory(self, partition_bytes: int, neurons: Optional[int] = None) -> int:
+        """Memory to allocate per worker.
+
+        Explicit configuration wins; otherwise the paper's per-N allocations
+        are used when ``neurons`` matches a paper configuration; otherwise the
+        partition footprint times ``memory_headroom`` (rounded up to 64 MB,
+        clamped to the FaaS limits).
+        """
+        if self.worker_memory_mb is not None:
+            return self.worker_memory_mb
+        if neurons is not None and neurons in PAPER_WORKER_MEMORY_MB:
+            return PAPER_WORKER_MEMORY_MB[neurons]
+        needed_mb = (partition_bytes / (1024.0 * 1024.0)) * self.memory_headroom
+        rounded = int(-(-max(needed_mb, MIN_MEMORY_MB) // 64) * 64)
+        return min(max(rounded, MIN_MEMORY_MB), MAX_MEMORY_MB)

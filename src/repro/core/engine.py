@@ -1,0 +1,475 @@
+"""The FSD-Inference engine: public API for serverless distributed inference.
+
+:class:`FSDInference` wires together the simulated cloud, the partitioning
+subsystem, the communication channels and the FSI worker routine.  Typical
+usage::
+
+    cloud = CloudEnvironment()
+    engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=8))
+    plan = engine.partition(model, HypergraphPartitioner())
+    result = engine.infer(model, batch, plan)
+
+``result`` carries the assembled output activations, the end-to-end query
+latency in virtual time, the cost report scoped to exactly this run, and the
+fine-grained per-layer/per-worker metrics used by the cost-model validator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..cloud import (
+    CloudEnvironment,
+    CostReport,
+    FunctionConfig,
+    FunctionTimeoutError,
+    VirtualClock,
+)
+from ..comm import (
+    CommChannel,
+    ObjectChannel,
+    ObjectChannelConfig,
+    QueueChannel,
+    QueueChannelConfig,
+    barrier,
+    encode_row_payload,
+    reduce_to_root,
+)
+from ..model import SparseDNN
+from ..partitioning import HypergraphPartitioner, PartitionPlan, Partitioner
+from ..sparse import as_csr, csr_nbytes, flop_count_spmm, relu_threshold, add_bias_to_nonzero_structure
+from .config import EngineConfig, Variant
+from .launch import LaunchResult, launch_worker_tree
+from .metrics import InferenceMetrics, LayerMetrics, WorkerMetrics
+from .worker import FSIWorker, StagedDataLayout
+
+__all__ = ["InferenceResult", "FSDInference"]
+
+
+@dataclass
+class InferenceResult:
+    """Everything produced by one inference run."""
+
+    output: sparse.csr_matrix
+    latency_seconds: float
+    batch_size: int
+    variant: Variant
+    num_workers: int
+    cost: CostReport
+    metrics: InferenceMetrics
+    launch: Optional[LaunchResult] = None
+
+    @property
+    def per_sample_seconds(self) -> float:
+        if self.batch_size == 0:
+            return 0.0
+        return self.latency_seconds / self.batch_size
+
+    @property
+    def per_sample_ms(self) -> float:
+        return self.per_sample_seconds * 1000.0
+
+    @property
+    def per_sample_cost(self) -> float:
+        if self.batch_size == 0:
+            return 0.0
+        return self.cost.total / self.batch_size
+
+    def predictions(self) -> np.ndarray:
+        """Argmax category per sample (Graph Challenge style output)."""
+        dense = np.asarray(self.output.todense())
+        return dense.argmax(axis=0)
+
+    def matches(self, expected: sparse.spmatrix, tolerance: float = 1e-4) -> bool:
+        """Check numerical agreement with a ground-truth activation matrix."""
+        expected = as_csr(expected)
+        if expected.shape != self.output.shape:
+            return False
+        difference = (self.output - expected)
+        if difference.nnz == 0:
+            return True
+        return float(np.abs(difference.data).max()) <= tolerance
+
+
+class FSDInference:
+    """Fully Serverless Distributed Inference engine (paper Section III)."""
+
+    def __init__(self, cloud: CloudEnvironment, config: Optional[EngineConfig] = None):
+        self.cloud = cloud
+        self.config = config or EngineConfig()
+        self._staged_weights: Set[Tuple[str, int, str]] = set()
+        self._staged_serial_models: Set[str] = set()
+
+    # -- offline steps -----------------------------------------------------------------
+
+    def partition(
+        self,
+        model: SparseDNN,
+        partitioner: Optional[Partitioner] = None,
+        workers: Optional[int] = None,
+    ) -> PartitionPlan:
+        """Partition ``model`` for this engine's worker count (offline step)."""
+        partitioner = partitioner or HypergraphPartitioner()
+        workers = workers or self.config.workers
+        return partitioner.partition(model, workers)
+
+    # -- public entry point ---------------------------------------------------------------
+
+    def infer(
+        self,
+        model: SparseDNN,
+        batch: sparse.spmatrix,
+        plan: Optional[PartitionPlan] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> InferenceResult:
+        """Run one batch of inference and return the result with cost/metrics."""
+        batch = as_csr(batch).astype(np.float64)
+        if batch.shape[0] != model.num_neurons:
+            raise ValueError(
+                f"batch has {batch.shape[0]} rows but the model has {model.num_neurons} neurons"
+            )
+        if self.config.variant is Variant.SERIAL:
+            return self._infer_serial(model, batch)
+
+        if plan is None:
+            plan = self.partition(model, partitioner)
+        if plan.num_workers != self.config.workers:
+            raise ValueError(
+                f"plan was built for {plan.num_workers} workers but the engine is "
+                f"configured for {self.config.workers}"
+            )
+        return self._infer_distributed(model, batch, plan)
+
+    # -- serial variant --------------------------------------------------------------------
+
+    def _infer_serial(self, model: SparseDNN, batch: sparse.csr_matrix) -> InferenceResult:
+        bucket = self.cloud.object_storage.get_or_create_bucket(self.config.data_bucket)
+        layout = StagedDataLayout(
+            bucket_name=bucket.name,
+            model_name=model.name,
+            num_workers=1,
+            partitioner_name="serial",
+        )
+        self._stage_serial(model, batch, bucket, layout)
+
+        function_name = f"{self.config.resource_prefix}-serial-{self.config.serial_memory_mb}"
+        self._ensure_function(function_name, self.config.serial_memory_mb)
+
+        checkpoint = self.cloud.billing_checkpoint()
+        invocation = self.cloud.faas.start_invocation(function_name, at_time=0.0)
+        metrics = InferenceMetrics(
+            variant=Variant.SERIAL.value,
+            num_workers=1,
+            num_layers=model.num_layers,
+            num_neurons=model.num_neurons,
+            batch_size=batch.shape[1],
+        )
+        worker_metrics = WorkerMetrics(worker=0, cold_start=invocation.cold)
+
+        clock = invocation.clock
+        load_start = clock.now
+        resident_bytes = self.config.memory_overhead_mb * 1024.0 * 1024.0
+        weights: List[sparse.csr_matrix] = []
+        for layer in range(model.num_layers):
+            payload = bucket.get_object(layout.full_model_key(layer), clock)
+            from ..comm import decode_row_payload
+
+            _, weight = decode_row_payload(payload)
+            weights.append(weight)
+            resident_bytes += csr_nbytes(weight)
+            invocation.account_memory(resident_bytes)
+        worker_metrics.weight_load_seconds = clock.now - load_start
+
+        input_start = clock.now
+        payload = bucket.get_object(layout.full_input_key(), clock)
+        from ..comm import decode_row_payload
+
+        _, activations = decode_row_payload(payload)
+        resident_bytes += csr_nbytes(activations)
+        invocation.account_memory(resident_bytes)
+        worker_metrics.input_load_seconds = clock.now - input_start
+
+        for layer in range(model.num_layers):
+            layer_metrics = LayerMetrics(layer=layer)
+            flops = flop_count_spmm(weights[layer], activations)
+            pre = weights[layer] @ activations
+            duration = invocation.charge_compute(flops + 2.0 * pre.nnz)
+            biased = add_bias_to_nonzero_structure(pre, model.biases[layer])
+            activations = relu_threshold(biased, model.activation_cap)
+            invocation.account_memory(resident_bytes + csr_nbytes(activations) + csr_nbytes(pre))
+            layer_metrics.compute_seconds = duration
+            layer_metrics.activation_nnz = int(activations.nnz)
+            worker_metrics.compute_seconds += duration
+            metrics.per_layer.append(layer_metrics)
+            invocation.check_timeout()
+
+        runtime = invocation.finish()
+        worker_metrics.runtime_seconds = runtime
+        worker_metrics.peak_memory_mb = invocation.peak_memory_mb
+        metrics.per_worker.append(worker_metrics)
+
+        return InferenceResult(
+            output=as_csr(activations),
+            latency_seconds=invocation.clock.now,
+            batch_size=batch.shape[1],
+            variant=Variant.SERIAL,
+            num_workers=1,
+            cost=self.cloud.report_since(checkpoint),
+            metrics=metrics,
+        )
+
+    # -- distributed variants -------------------------------------------------------------------
+
+    def _infer_distributed(
+        self,
+        model: SparseDNN,
+        batch: sparse.csr_matrix,
+        plan: PartitionPlan,
+    ) -> InferenceResult:
+        num_workers = plan.num_workers
+        bucket = self.cloud.object_storage.get_or_create_bucket(self.config.data_bucket)
+        layout = StagedDataLayout(
+            bucket_name=bucket.name,
+            model_name=model.name,
+            num_workers=num_workers,
+            partitioner_name=plan.partitioner_name,
+        )
+        self._stage_distributed(model, plan, batch, bucket, layout)
+
+        channel = self._build_channel()
+        channel.prepare(num_workers)
+
+        max_partition_bytes = max(
+            plan.worker_weight_bytes(worker) for worker in range(num_workers)
+        )
+        worker_memory = self.config.resolve_worker_memory(
+            max_partition_bytes, neurons=model.num_neurons
+        )
+        worker_fn = (
+            f"{self.config.resource_prefix}-worker-{self.config.variant.value}-{worker_memory}"
+        )
+        coordinator_fn = f"{self.config.resource_prefix}-coordinator"
+        self._ensure_function(worker_fn, worker_memory)
+        self._ensure_function(coordinator_fn, self.config.coordinator_memory_mb)
+
+        checkpoint = self.cloud.billing_checkpoint()
+        metrics = InferenceMetrics(
+            variant=self.config.variant.value,
+            num_workers=num_workers,
+            num_layers=model.num_layers,
+            num_neurons=model.num_neurons,
+            batch_size=batch.shape[1],
+        )
+
+        # Coordinator: parse the request and invoke the root worker.
+        coordinator = self.cloud.faas.start_invocation(coordinator_fn, at_time=0.0)
+        coordinator.charge_duration(0.005)
+        launch = launch_worker_tree(
+            self.cloud.faas,
+            worker_fn,
+            num_workers,
+            self.config.branching_factor,
+            coordinator.clock,
+        )
+        metrics.coordinator_seconds = coordinator.clock.now
+        coordinator.finish()
+        metrics.launch_seconds = launch.launch_span_seconds
+
+        workers = [
+            FSIWorker(
+                worker_id=rank,
+                invocation=launch.invocations[rank],
+                plan=plan,
+                channel=channel,
+                data_bucket=bucket,
+                layout=layout,
+                biases=model.biases,
+                activation_cap=model.activation_cap,
+                batch_size=batch.shape[1],
+                io_threads=self.config.io_threads,
+                memory_overhead_bytes=self.config.memory_overhead_mb * 1024.0 * 1024.0,
+            )
+            for rank in range(num_workers)
+        ]
+
+        for worker in workers:
+            worker.load_partition()
+            worker.load_input()
+
+        for layer in range(model.num_layers):
+            layer_metrics = LayerMetrics(layer=layer)
+            for worker in workers:
+                worker.send_phase(layer, layer_metrics)
+            for worker in workers:
+                worker.local_compute(layer, layer_metrics)
+            for worker in workers:
+                worker.receive_phase(layer, layer_metrics)
+            for worker in workers:
+                worker.finalize_layer(layer, layer_metrics)
+            metrics.per_layer.append(layer_metrics)
+
+        # Barrier + Reduce to worker 0 (lines 19-20 / 25-26 of the algorithms).
+        clocks = {worker.worker_id: worker.invocation.clock for worker in workers}
+        barrier(list(clocks.values()))
+        reduce_start = clocks[0].now
+        stats_before_reduce = channel.stats.merge(type(channel.stats)())
+        contributions = {
+            worker.worker_id: worker.final_contribution() for worker in workers
+        }
+        output = reduce_to_root(
+            channel,
+            layer=channel.reduction_layer(model.num_layers),
+            root=0,
+            contributions=contributions,
+            clocks=clocks,
+            io_threads=self.config.io_threads,
+            num_columns=batch.shape[1],
+        )
+        output = self._pad_rows(output, model.num_neurons)
+        metrics.reduce_seconds = clocks[0].now - reduce_start
+        metrics.reduce_comm = LayerMetrics(
+            layer=model.num_layers,
+            bytes_sent=channel.stats.bytes_sent - stats_before_reduce.bytes_sent,
+            bytes_received=channel.stats.bytes_received - stats_before_reduce.bytes_received,
+            nnz_sent=channel.stats.payload_nnz_sent - stats_before_reduce.payload_nnz_sent,
+            messages_sent=channel.stats.messages_sent - stats_before_reduce.messages_sent,
+            publish_calls=channel.stats.publish_calls - stats_before_reduce.publish_calls,
+            poll_calls=channel.stats.poll_calls - stats_before_reduce.poll_calls,
+            empty_polls=channel.stats.empty_polls - stats_before_reduce.empty_polls,
+            put_calls=channel.stats.put_calls - stats_before_reduce.put_calls,
+            get_calls=channel.stats.get_calls - stats_before_reduce.get_calls,
+            list_calls=channel.stats.list_calls - stats_before_reduce.list_calls,
+            delete_calls=channel.stats.delete_calls - stats_before_reduce.delete_calls,
+            send_seconds=metrics.reduce_seconds,
+        )
+        latency = clocks[0].now
+
+        timeouts: List[FunctionTimeoutError] = []
+        for worker in workers:
+            try:
+                worker.finish(enforce_timeout=True)
+            except FunctionTimeoutError as error:
+                timeouts.append(error)
+            metrics.per_worker.append(worker.metrics)
+
+        result = InferenceResult(
+            output=output,
+            latency_seconds=latency,
+            batch_size=batch.shape[1],
+            variant=self.config.variant,
+            num_workers=num_workers,
+            cost=self.cloud.report_since(checkpoint),
+            metrics=metrics,
+            launch=launch,
+        )
+        if timeouts:
+            # Surface the first timeout; callers treat it like the paper treats
+            # configurations that "could not run within the maximum FaaS runtime".
+            raise timeouts[0]
+        return result
+
+    # -- staging ---------------------------------------------------------------------------------
+
+    def _stage_serial(
+        self,
+        model: SparseDNN,
+        batch: sparse.csr_matrix,
+        bucket,
+        layout: StagedDataLayout,
+    ) -> None:
+        """Place the full model and input batch in object storage.
+
+        Staging is the paper's offline step (models and buffered inputs are
+        assumed to already live in object storage when a request arrives), so
+        it is neither timed nor billed; the per-request GETs that read the
+        data back *are*.
+        """
+        all_rows = np.arange(model.num_neurons, dtype=np.int64)
+        if model.name not in self._staged_serial_models:
+            for layer, weight in enumerate(model.weights):
+                payload = encode_row_payload(all_rows, weight, compress=self.config.compress)
+                bucket.preload_object(layout.full_model_key(layer), payload)
+            self._staged_serial_models.add(model.name)
+        payload = encode_row_payload(all_rows, batch, compress=self.config.compress)
+        bucket.preload_object(layout.full_input_key(), payload)
+
+    def _stage_distributed(
+        self,
+        model: SparseDNN,
+        plan: PartitionPlan,
+        batch: sparse.csr_matrix,
+        bucket,
+        layout: StagedDataLayout,
+    ) -> None:
+        """Place per-worker model partitions and input row blocks in object storage."""
+        cache_key = (model.name, plan.num_workers, plan.partitioner_name)
+        if cache_key not in self._staged_weights:
+            for layer in range(plan.num_layers):
+                for worker in range(plan.num_workers):
+                    block = plan.weight_blocks[layer][worker]
+                    payload = encode_row_payload(
+                        block.global_rows, block.local, compress=self.config.compress
+                    )
+                    bucket.preload_object(layout.weight_key(worker, layer), payload)
+            self._staged_weights.add(cache_key)
+        for worker in range(plan.num_workers):
+            rows = plan.worker_rows(worker)
+            block = batch[rows, :]
+            payload = encode_row_payload(rows, block, compress=self.config.compress)
+            bucket.preload_object(layout.input_key(worker), payload)
+
+    # -- helpers -----------------------------------------------------------------------------------
+
+    def _build_channel(self) -> CommChannel:
+        if self.config.variant is Variant.QUEUE:
+            return QueueChannel(
+                self.cloud,
+                QueueChannelConfig(
+                    num_topics=self.config.num_topics,
+                    long_poll_wait_seconds=self.config.long_poll_wait_seconds,
+                    use_long_polling=self.config.use_long_polling,
+                    compress=self.config.compress,
+                    resource_prefix=self.config.resource_prefix,
+                ),
+            )
+        if self.config.variant is Variant.OBJECT:
+            return ObjectChannel(
+                self.cloud,
+                ObjectChannelConfig(
+                    num_buckets=self.config.num_buckets,
+                    compress=self.config.compress,
+                    resource_prefix=self.config.resource_prefix,
+                ),
+            )
+        raise ValueError(f"variant {self.config.variant} has no communication channel")
+
+    def _ensure_function(self, name: str, memory_mb: int) -> None:
+        platform = self.cloud.faas
+        if name in platform:
+            existing = platform.get_function(name)
+            if existing.memory_mb == memory_mb and existing.timeout_seconds == self.config.timeout_seconds:
+                return
+            platform.delete_function(name)
+        platform.create_function(
+            FunctionConfig(
+                name=name,
+                memory_mb=memory_mb,
+                timeout_seconds=self.config.timeout_seconds,
+            )
+        )
+
+    @staticmethod
+    def _pad_rows(matrix: sparse.csr_matrix, total_rows: int) -> sparse.csr_matrix:
+        matrix = as_csr(matrix)
+        if matrix.shape[0] == total_rows:
+            return matrix
+        if matrix.shape[0] > total_rows:
+            raise ValueError("assembled output has more rows than the model has neurons")
+        padding = sparse.csr_matrix(
+            (total_rows - matrix.shape[0], matrix.shape[1]), dtype=matrix.dtype
+        )
+        return sparse.vstack([matrix, padding], format="csr")

@@ -1,0 +1,143 @@
+"""Hierarchical worker launch tree.
+
+FSD-Inference launches its ``P`` FaaS workers through a
+``worker_invoke_children()`` mechanism: each worker derives its own rank from
+its parent's rank, its sibling number and the branching factor, and then
+invokes its own children before starting compute work (Section II-B /
+Section III).  Spreading invocation responsibility over all internal nodes
+fills the worker tree in O(log_b P) sequential invocation rounds instead of
+O(P), which is what makes large parallelism levels start quickly.
+
+This module computes the tree shape (ranks, parents, children) and performs
+the virtual-time launch against the simulated FaaS platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cloud import FaaSPlatform, FunctionInvocation, VirtualClock
+
+__all__ = ["LaunchTree", "LaunchResult", "launch_worker_tree"]
+
+
+@dataclass(frozen=True)
+class LaunchTree:
+    """Shape of the hierarchical invocation tree for ``num_workers`` workers."""
+
+    num_workers: int
+    branching_factor: int
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("a launch tree needs at least one worker")
+        if self.branching_factor < 1:
+            raise ValueError("branching_factor must be at least 1")
+
+    def parent(self, worker: int) -> Optional[int]:
+        """Rank of the worker that invokes ``worker`` (None for the root)."""
+        self._check(worker)
+        if worker == 0:
+            return None
+        return (worker - 1) // self.branching_factor
+
+    def children(self, worker: int) -> List[int]:
+        """Ranks invoked by ``worker`` (``worker_invoke_children`` targets)."""
+        self._check(worker)
+        first = worker * self.branching_factor + 1
+        return [
+            child
+            for child in range(first, first + self.branching_factor)
+            if child < self.num_workers
+        ]
+
+    def depth(self, worker: int) -> int:
+        """Number of invocation hops between the root and ``worker``."""
+        self._check(worker)
+        depth = 0
+        current = worker
+        while current != 0:
+            current = (current - 1) // self.branching_factor
+            depth += 1
+        return depth
+
+    def height(self) -> int:
+        """Depth of the deepest worker."""
+        return max(self.depth(worker) for worker in range(self.num_workers))
+
+    def rank_of(self, parent: Optional[int], sibling_number: int) -> int:
+        """Rank derived from parent rank and sibling number (the paper's rule)."""
+        if parent is None:
+            if sibling_number != 0:
+                raise ValueError("the root has no siblings")
+            return 0
+        if not 0 <= sibling_number < self.branching_factor:
+            raise ValueError(
+                f"sibling_number must be in [0, {self.branching_factor}), got {sibling_number}"
+            )
+        return parent * self.branching_factor + 1 + sibling_number
+
+    def is_leaf(self, worker: int) -> bool:
+        return not self.children(worker)
+
+    def _check(self, worker: int) -> None:
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(
+                f"worker rank {worker} outside [0, {self.num_workers})"
+            )
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of launching the full worker tree."""
+
+    tree: LaunchTree
+    invocations: List[FunctionInvocation]
+    #: virtual time at which the last worker's user code started.
+    completed_at: float
+    #: virtual time at which the first (root) worker's user code started.
+    root_started_at: float
+
+    @property
+    def launch_span_seconds(self) -> float:
+        """Time between the root starting and the last worker starting."""
+        return self.completed_at - self.root_started_at
+
+
+def launch_worker_tree(
+    platform: FaaSPlatform,
+    function_name: str,
+    num_workers: int,
+    branching_factor: int,
+    coordinator_clock: VirtualClock,
+) -> LaunchResult:
+    """Launch ``num_workers`` invocations of ``function_name`` hierarchically.
+
+    The coordinator invokes worker 0; every worker then invokes its children
+    before doing anything else, advancing its own clock by the invoke API
+    latency per child (exactly the cost the paper's mechanism pays).
+    """
+    tree = LaunchTree(num_workers=num_workers, branching_factor=branching_factor)
+    invocations: List[Optional[FunctionInvocation]] = [None] * num_workers
+
+    root = platform.start_invocation(function_name, invoker_clock=coordinator_clock)
+    invocations[0] = root
+
+    # Breadth-first: parents always exist before their children are launched.
+    for worker in range(num_workers):
+        parent_invocation = invocations[worker]
+        if parent_invocation is None:
+            raise RuntimeError(f"worker {worker} was never launched by its parent")
+        for child in tree.children(worker):
+            invocations[child] = platform.start_invocation(
+                function_name, invoker_clock=parent_invocation.clock
+            )
+
+    started_times = [invocation.started_at for invocation in invocations]
+    return LaunchResult(
+        tree=tree,
+        invocations=list(invocations),
+        completed_at=max(started_times),
+        root_started_at=invocations[0].started_at,
+    )

@@ -1,0 +1,201 @@
+"""Fine-grained metric capture for FSD-Inference runs.
+
+The paper validates its cost model by "programmatically capturing
+fine-grained metrics (51 per-layer and 26 per-batch)" from every run
+(Section VI-F).  This module provides the equivalent instrumentation:
+per-layer and per-worker counters collected while the engine executes, plus
+batch-level aggregates derived from them.  The cost-model validator consumes
+these metrics to predict charges that are then compared against the billing
+ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional
+
+__all__ = ["LayerMetrics", "WorkerMetrics", "InferenceMetrics"]
+
+
+@dataclass
+class LayerMetrics:
+    """Counters accumulated over all workers for one layer."""
+
+    layer: int
+    rows_sent: int = 0
+    nnz_sent: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    publish_calls: int = 0
+    poll_calls: int = 0
+    empty_polls: int = 0
+    put_calls: int = 0
+    get_calls: int = 0
+    list_calls: int = 0
+    delete_calls: int = 0
+    send_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    receive_wait_seconds: float = 0.0
+    activation_nnz: int = 0
+
+    def merge_counts(self, **deltas: float) -> None:
+        for key, value in deltas.items():
+            setattr(self, key, getattr(self, key) + value)
+
+
+@dataclass
+class WorkerMetrics:
+    """Per-worker accounting over the whole batch."""
+
+    worker: int
+    runtime_seconds: float = 0.0
+    startup_seconds: float = 0.0
+    weight_load_seconds: float = 0.0
+    input_load_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    send_seconds: float = 0.0
+    receive_wait_seconds: float = 0.0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    peak_memory_mb: float = 0.0
+    cold_start: bool = False
+    weight_nnz: int = 0
+    owned_rows: int = 0
+
+
+@dataclass
+class InferenceMetrics:
+    """Everything measured during one inference run."""
+
+    variant: str
+    num_workers: int
+    num_layers: int
+    num_neurons: int
+    batch_size: int
+    per_layer: List[LayerMetrics] = field(default_factory=list)
+    per_worker: List[WorkerMetrics] = field(default_factory=list)
+    #: communication performed by the final Barrier/Reduce step, kept separate
+    #: from the per-layer counters but included in every total below.
+    reduce_comm: Optional[LayerMetrics] = None
+    launch_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+    coordinator_seconds: float = 0.0
+
+    # -- derived batch-level aggregates ----------------------------------------------
+
+    def layer(self, index: int) -> LayerMetrics:
+        return self.per_layer[index]
+
+    def _all_phases(self) -> List[LayerMetrics]:
+        phases = list(self.per_layer)
+        if self.reduce_comm is not None:
+            phases.append(self.reduce_comm)
+        return phases
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(layer.bytes_sent for layer in self._all_phases())
+
+    @property
+    def total_nnz_sent(self) -> int:
+        return sum(layer.nnz_sent for layer in self._all_phases())
+
+    @property
+    def total_rows_sent(self) -> int:
+        return sum(layer.rows_sent for layer in self._all_phases())
+
+    @property
+    def total_messages_sent(self) -> int:
+        return sum(layer.messages_sent for layer in self._all_phases())
+
+    @property
+    def total_publish_calls(self) -> int:
+        return sum(layer.publish_calls for layer in self._all_phases())
+
+    @property
+    def total_poll_calls(self) -> int:
+        return sum(layer.poll_calls for layer in self._all_phases())
+
+    @property
+    def total_put_calls(self) -> int:
+        return sum(layer.put_calls for layer in self._all_phases())
+
+    @property
+    def total_get_calls(self) -> int:
+        return sum(layer.get_calls for layer in self._all_phases())
+
+    @property
+    def total_list_calls(self) -> int:
+        return sum(layer.list_calls for layer in self._all_phases())
+
+    @property
+    def total_delete_calls(self) -> int:
+        return sum(layer.delete_calls for layer in self._all_phases())
+
+    @property
+    def total_bytes_received(self) -> int:
+        return sum(layer.bytes_received for layer in self._all_phases())
+
+    @property
+    def total_compute_seconds(self) -> float:
+        return sum(layer.compute_seconds for layer in self.per_layer)
+
+    @property
+    def total_receive_wait_seconds(self) -> float:
+        return sum(layer.receive_wait_seconds for layer in self.per_layer)
+
+    @property
+    def mean_worker_runtime_seconds(self) -> float:
+        if not self.per_worker:
+            return 0.0
+        return sum(w.runtime_seconds for w in self.per_worker) / len(self.per_worker)
+
+    @property
+    def max_worker_runtime_seconds(self) -> float:
+        if not self.per_worker:
+            return 0.0
+        return max(w.runtime_seconds for w in self.per_worker)
+
+    @property
+    def nnz_sent_per_target(self) -> float:
+        """Average nonzeros shipped per (source, target, layer) transfer."""
+        pairs = sum(1 for layer in self.per_layer for _ in range(layer.messages_sent)) or 0
+        transfers = self.total_messages_sent
+        if transfers == 0:
+            return 0.0
+        return self.total_nnz_sent / transfers
+
+    def per_layer_table(self) -> List[Dict[str, float]]:
+        """The per-layer metrics as a list of plain dictionaries (for reports)."""
+        table = []
+        for layer in self.per_layer:
+            row = {f.name: getattr(layer, f.name) for f in fields(layer)}
+            table.append(row)
+        return table
+
+    def batch_summary(self) -> Dict[str, float]:
+        """The per-batch metric set (the paper's 26 per-batch metrics analogue)."""
+        return {
+            "variant": self.variant,
+            "num_workers": self.num_workers,
+            "num_layers": self.num_layers,
+            "num_neurons": self.num_neurons,
+            "batch_size": self.batch_size,
+            "total_bytes_sent": self.total_bytes_sent,
+            "total_nnz_sent": self.total_nnz_sent,
+            "total_rows_sent": self.total_rows_sent,
+            "total_messages_sent": self.total_messages_sent,
+            "total_publish_calls": self.total_publish_calls,
+            "total_poll_calls": self.total_poll_calls,
+            "total_put_calls": self.total_put_calls,
+            "total_get_calls": self.total_get_calls,
+            "total_list_calls": self.total_list_calls,
+            "total_compute_seconds": self.total_compute_seconds,
+            "total_receive_wait_seconds": self.total_receive_wait_seconds,
+            "mean_worker_runtime_seconds": self.mean_worker_runtime_seconds,
+            "max_worker_runtime_seconds": self.max_worker_runtime_seconds,
+            "launch_seconds": self.launch_seconds,
+            "reduce_seconds": self.reduce_seconds,
+            "coordinator_seconds": self.coordinator_seconds,
+        }

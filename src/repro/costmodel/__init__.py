@@ -1,0 +1,38 @@
+"""Analytical cost model, estimators, validation and design recommendations."""
+
+from .estimator import WorkloadCostEstimator, WorkloadEstimate, estimate_from_metrics
+from .model import (
+    CostBreakdown,
+    LambdaUsage,
+    ObjectCommUsage,
+    QueueCommUsage,
+    lambda_cost,
+    object_comm_cost,
+    object_total_cost,
+    queue_comm_cost,
+    queue_total_cost,
+    serial_total_cost,
+)
+from .recommend import Recommendation, WorkloadProfile, recommend_variant
+from .validator import CostValidationReport, validate_cost_model
+
+__all__ = [
+    "WorkloadCostEstimator",
+    "WorkloadEstimate",
+    "estimate_from_metrics",
+    "CostBreakdown",
+    "LambdaUsage",
+    "ObjectCommUsage",
+    "QueueCommUsage",
+    "lambda_cost",
+    "object_comm_cost",
+    "object_total_cost",
+    "queue_comm_cost",
+    "queue_total_cost",
+    "serial_total_cost",
+    "Recommendation",
+    "WorkloadProfile",
+    "recommend_variant",
+    "CostValidationReport",
+    "validate_cost_model",
+]

@@ -1,0 +1,177 @@
+"""Cost estimation from captured run metrics or workload parameters.
+
+Two estimation paths are provided, mirroring how the paper uses its cost
+model:
+
+* :func:`estimate_from_metrics` -- predict the bill of a run *that already
+  happened* from the fine-grained metrics the engine captured (51 per-layer /
+  26 per-batch style counters), without looking at the billing ledger.  This
+  is the prediction side of the Section VI-F validation.
+* :class:`WorkloadCostEstimator` -- predict the bill of a *hypothetical*
+  workload (worker count, expected communication volume, expected runtime)
+  before running it.  This powers the design recommendations and the daily
+  cost projections of Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cloud import PriceBook
+from ..core import InferenceMetrics, Variant
+from .model import (
+    CostBreakdown,
+    LambdaUsage,
+    ObjectCommUsage,
+    QueueCommUsage,
+    lambda_cost,
+    object_total_cost,
+    queue_total_cost,
+    serial_total_cost,
+)
+
+__all__ = ["estimate_from_metrics", "WorkloadEstimate", "WorkloadCostEstimator"]
+
+
+def _billed_increments(total_bytes: float, calls: int, increment_bytes: int) -> int:
+    """Billed request count for ``calls`` API calls carrying ``total_bytes``.
+
+    Providers bill each call in fixed-size increments; without per-call sizes
+    the best unbiased reconstruction from aggregate metrics is to assume the
+    payload was spread evenly over the calls.
+    """
+    if calls <= 0:
+        return 0
+    per_call = total_bytes / calls
+    return int(calls * max(1, math.ceil(per_call / increment_bytes)))
+
+
+def estimate_from_metrics(
+    metrics: InferenceMetrics,
+    worker_memory_mb: float,
+    coordinator_memory_mb: float = 128.0,
+    coordinator_runtime_seconds: float = 0.0,
+    data_loading_get_requests: Optional[int] = None,
+    prices: Optional[PriceBook] = None,
+) -> CostBreakdown:
+    """Predict the cost of a completed run from its captured metrics."""
+    prices = prices or PriceBook()
+    variant = Variant(metrics.variant)
+
+    compute = LambdaUsage(
+        workers=metrics.num_workers,
+        mean_runtime_seconds=metrics.mean_worker_runtime_seconds,
+        memory_mb=worker_memory_mb,
+        extra_invocations=0 if variant is Variant.SERIAL else 1,
+        extra_gb_seconds=(coordinator_memory_mb / 1024.0) * coordinator_runtime_seconds,
+    )
+
+    if data_loading_get_requests is None:
+        # One GET per worker per layer for weights plus one per worker for inputs.
+        data_loading_get_requests = metrics.num_workers * (metrics.num_layers + 1)
+
+    if variant is Variant.SERIAL:
+        breakdown = serial_total_cost(compute, prices)
+        loading = data_loading_get_requests * prices.object_price_per_get
+        return CostBreakdown(compute=breakdown.compute, communication=loading)
+
+    if variant is Variant.QUEUE:
+        billed_publishes = _billed_increments(
+            metrics.total_bytes_sent,
+            metrics.total_publish_calls,
+            prices.pubsub_billing_increment_bytes,
+        )
+        billed_receives = _billed_increments(
+            metrics.total_bytes_received,
+            metrics.total_poll_calls,
+            prices.queue_billing_increment_bytes,
+        )
+        comm = QueueCommUsage(
+            billed_publish_requests=billed_publishes,
+            delivered_bytes=metrics.total_bytes_sent,
+            queue_api_requests=billed_receives + metrics.total_delete_calls,
+        )
+        breakdown = queue_total_cost(compute, comm, prices)
+        loading = data_loading_get_requests * prices.object_price_per_get
+        return CostBreakdown(
+            compute=breakdown.compute, communication=breakdown.communication + loading
+        )
+
+    comm = ObjectCommUsage(
+        put_requests=metrics.total_put_calls,
+        get_requests=metrics.total_get_calls + data_loading_get_requests,
+        list_requests=metrics.total_list_calls,
+    )
+    return object_total_cost(compute, comm, prices)
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """Description of a hypothetical inference workload."""
+
+    variant: Variant
+    workers: int
+    layers: int
+    expected_runtime_seconds: float
+    worker_memory_mb: float
+    #: communication volume (bytes of compressed activations) per batch.
+    comm_bytes: float = 0.0
+    #: number of (source, target, layer) transfers per batch.
+    transfers: int = 0
+    batches: int = 1
+
+
+class WorkloadCostEstimator:
+    """Forecast costs of hypothetical workloads (Figure 4 / Section IV-C)."""
+
+    def __init__(self, prices: Optional[PriceBook] = None):
+        self.prices = prices or PriceBook()
+
+    def estimate(self, workload: WorkloadEstimate) -> CostBreakdown:
+        prices = self.prices
+        compute = LambdaUsage(
+            workers=workload.workers * workload.batches,
+            mean_runtime_seconds=workload.expected_runtime_seconds,
+            memory_mb=workload.worker_memory_mb,
+            extra_invocations=0 if workload.variant is Variant.SERIAL else workload.batches,
+        )
+        if workload.variant is Variant.SERIAL:
+            return serial_total_cost(compute, prices)
+
+        if workload.variant is Variant.QUEUE:
+            # Every transfer needs at least one message; additional messages are
+            # required once the per-transfer payload exceeds the message limit.
+            if workload.transfers:
+                per_transfer = workload.comm_bytes / workload.transfers
+            else:
+                per_transfer = 0.0
+            messages_per_transfer = max(1, math.ceil(per_transfer / (256 * 1024)))
+            total_messages = workload.transfers * messages_per_transfer * workload.batches
+            publishes = math.ceil(total_messages / 10) if total_messages else 0
+            billed_publishes = _billed_increments(
+                workload.comm_bytes * workload.batches,
+                max(publishes, 1) if total_messages else 0,
+                prices.pubsub_billing_increment_bytes,
+            )
+            polls = math.ceil(total_messages / 10) + workload.workers * workload.layers * workload.batches
+            comm = QueueCommUsage(
+                billed_publish_requests=billed_publishes,
+                delivered_bytes=workload.comm_bytes * workload.batches,
+                queue_api_requests=polls,
+            )
+            return queue_total_cost(compute, comm, prices)
+
+        puts = workload.transfers * workload.batches
+        gets = workload.transfers * workload.batches
+        lists = workload.workers * workload.layers * workload.batches
+        comm = ObjectCommUsage(put_requests=puts, get_requests=gets, list_requests=lists)
+        return object_total_cost(compute, comm, prices)
+
+    def daily_cost(self, workload: WorkloadEstimate, queries_per_day: int) -> float:
+        """Total daily cost for ``queries_per_day`` repetitions of ``workload``."""
+        if queries_per_day < 0:
+            raise ValueError("queries_per_day cannot be negative")
+        per_query = self.estimate(workload).total
+        return per_query * queries_per_day

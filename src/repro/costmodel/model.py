@@ -1,0 +1,154 @@
+"""The FSD-Inference cost model (paper Section IV, Equations 1-7).
+
+The model expresses the end-to-end cost of one inference run as the sum of
+FaaS compute charges and communication-service charges:
+
+* ``C_Queue  = C_lambda + C_SNS + C_SQS``   (Equation 1)
+* ``C_Object = C_lambda + C_S3``            (Equation 2)
+* ``C_Serial = C_lambda``                   (Equation 3)
+
+with
+
+* ``C_lambda = P * C_inv + P * T_bar * M * C_run``          (Equation 4)
+* ``C_SNS    = S * C_pub + Z * C_byte``                      (Equation 5)
+* ``C_SQS    = Q * C_api``                                   (Equation 6)
+* ``C_S3     = V * C_put + R * C_get + L * C_list``          (Equation 7)
+
+The unit prices come from :class:`repro.cloud.PriceBook`, so what-if pricing
+studies only need a modified price book.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cloud import PriceBook
+
+__all__ = [
+    "LambdaUsage",
+    "QueueCommUsage",
+    "ObjectCommUsage",
+    "CostBreakdown",
+    "lambda_cost",
+    "queue_comm_cost",
+    "object_comm_cost",
+    "serial_total_cost",
+    "queue_total_cost",
+    "object_total_cost",
+]
+
+
+@dataclass(frozen=True)
+class LambdaUsage:
+    """Inputs of Equation 4."""
+
+    workers: int
+    mean_runtime_seconds: float
+    memory_mb: float
+    #: additional lightweight invocations (e.g. the 128 MB coordinator).
+    extra_invocations: int = 0
+    extra_gb_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0 or self.mean_runtime_seconds < 0 or self.memory_mb < 0:
+            raise ValueError("lambda usage quantities cannot be negative")
+
+
+@dataclass(frozen=True)
+class QueueCommUsage:
+    """Inputs of Equations 5 and 6."""
+
+    billed_publish_requests: int
+    delivered_bytes: float
+    queue_api_requests: int
+
+    def __post_init__(self) -> None:
+        if min(self.billed_publish_requests, self.queue_api_requests) < 0 or self.delivered_bytes < 0:
+            raise ValueError("queue communication quantities cannot be negative")
+
+
+@dataclass(frozen=True)
+class ObjectCommUsage:
+    """Inputs of Equation 7."""
+
+    put_requests: int
+    get_requests: int
+    list_requests: int
+
+    def __post_init__(self) -> None:
+        if min(self.put_requests, self.get_requests, self.list_requests) < 0:
+            raise ValueError("object communication quantities cannot be negative")
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Predicted cost split into compute and communication components."""
+
+    compute: float
+    communication: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.communication
+
+
+def lambda_cost(usage: LambdaUsage, prices: Optional[PriceBook] = None) -> float:
+    """Equation 4: ``P*C_inv + P*T_bar*M*C_run`` (plus any extra invocations)."""
+    prices = prices or PriceBook()
+    memory_gb = usage.memory_mb / 1024.0
+    invocation_cost = (usage.workers + usage.extra_invocations) * prices.faas_price_per_invocation
+    runtime_cost = (
+        usage.workers * usage.mean_runtime_seconds * memory_gb + usage.extra_gb_seconds
+    ) * prices.faas_price_per_gb_second
+    return invocation_cost + runtime_cost
+
+
+def queue_comm_cost(usage: QueueCommUsage, prices: Optional[PriceBook] = None) -> float:
+    """Equations 5 + 6: pub/sub publishes, delivered bytes and queue API calls."""
+    prices = prices or PriceBook()
+    sns = (
+        usage.billed_publish_requests * prices.pubsub_price_per_publish
+        + usage.delivered_bytes * prices.pubsub_price_per_byte_delivered
+    )
+    sqs = usage.queue_api_requests * prices.queue_price_per_request
+    return sns + sqs
+
+
+def object_comm_cost(usage: ObjectCommUsage, prices: Optional[PriceBook] = None) -> float:
+    """Equation 7: PUT, GET and LIST request charges."""
+    prices = prices or PriceBook()
+    return (
+        usage.put_requests * prices.object_price_per_put
+        + usage.get_requests * prices.object_price_per_get
+        + usage.list_requests * prices.object_price_per_list
+    )
+
+
+def serial_total_cost(compute: LambdaUsage, prices: Optional[PriceBook] = None) -> CostBreakdown:
+    """Equation 3: the serial variant only pays for FaaS compute."""
+    return CostBreakdown(compute=lambda_cost(compute, prices), communication=0.0)
+
+
+def queue_total_cost(
+    compute: LambdaUsage,
+    comm: QueueCommUsage,
+    prices: Optional[PriceBook] = None,
+) -> CostBreakdown:
+    """Equation 1."""
+    return CostBreakdown(
+        compute=lambda_cost(compute, prices),
+        communication=queue_comm_cost(comm, prices),
+    )
+
+
+def object_total_cost(
+    compute: LambdaUsage,
+    comm: ObjectCommUsage,
+    prices: Optional[PriceBook] = None,
+) -> CostBreakdown:
+    """Equation 2."""
+    return CostBreakdown(
+        compute=lambda_cost(compute, prices),
+        communication=object_comm_cost(comm, prices),
+    )

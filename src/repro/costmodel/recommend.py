@@ -1,0 +1,96 @@
+"""Design recommendations for serverless inference (paper Section IV-C).
+
+The paper concludes its cost analysis with three recommendations:
+
+* **FSD-Inf-Serial** for models that comfortably fit one FaaS instance --
+  no communication channel, no IPC latency;
+* **FSD-Inf-Queue** once the model must be distributed, as long as the
+  per-target layer payloads mostly fit the pub/sub publish capacity -- its
+  API requests are roughly an order of magnitude cheaper than object-storage
+  requests and a single publish/poll can serve up to 10 targets/sources;
+* **FSD-Inf-Object** when per-target data volumes grow large enough to
+  saturate pub/sub payload limits (very large models), because object sizes
+  are effectively unlimited and transfer bytes are not billed.
+
+:func:`recommend_variant` encodes that decision procedure so callers (and the
+Figure 4 daily-cost experiment) can pick the per-query variant automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cloud import MAX_MEMORY_MB
+from ..core import Variant
+
+__all__ = ["WorkloadProfile", "Recommendation", "recommend_variant"]
+
+#: fraction of a FaaS instance's memory the model may occupy before the
+#: serial variant stops being recommended (leaves room for activations).
+_SERIAL_MEMORY_FRACTION = 0.6
+#: pub/sub publish payload capacity (10 messages x 256 KB).
+_PUBLISH_CAPACITY_BYTES = 10 * 256 * 1024
+#: how many publishes per target per layer we tolerate before switching to
+#: object storage (Section IV-C: queue wins "until multiple publishes are
+#: consistently required for each target").
+_MAX_PUBLISHES_PER_TARGET = 4.0
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The inputs the recommendation procedure needs."""
+
+    model_bytes: float
+    workers: int
+    #: expected compressed bytes each worker ships to each of its targets in
+    #: one layer (an output of the partitioner / a prior profiling run).
+    per_target_layer_bytes: float
+    max_faas_memory_mb: int = MAX_MEMORY_MB
+
+    def __post_init__(self) -> None:
+        if self.model_bytes < 0 or self.per_target_layer_bytes < 0:
+            raise ValueError("workload sizes cannot be negative")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A variant recommendation plus the reasoning behind it."""
+
+    variant: Variant
+    reason: str
+
+
+def recommend_variant(profile: WorkloadProfile) -> Recommendation:
+    """Apply the paper's design recommendations to ``profile``."""
+    serial_capacity_bytes = profile.max_faas_memory_mb * 1024 * 1024 * _SERIAL_MEMORY_FRACTION
+    if profile.model_bytes <= serial_capacity_bytes:
+        return Recommendation(
+            variant=Variant.SERIAL,
+            reason=(
+                "model fits comfortably in a single FaaS instance; single-instance "
+                "execution avoids all IPC latency and communication charges"
+            ),
+        )
+
+    publishes_per_target = profile.per_target_layer_bytes / _PUBLISH_CAPACITY_BYTES
+    if publishes_per_target <= _MAX_PUBLISHES_PER_TARGET:
+        return Recommendation(
+            variant=Variant.QUEUE,
+            reason=(
+                "per-target layer payloads fit within a few pub/sub publishes; "
+                "pub-sub/queueing API requests are ~1 OOM cheaper than object storage "
+                "requests, so costs grow slowly with worker parallelism"
+            ),
+        )
+
+    return Recommendation(
+        variant=Variant.OBJECT,
+        reason=(
+            "per-target data volumes saturate pub/sub payload capacity; object "
+            "storage offers effectively unlimited object sizes and free data "
+            "transfer, so it is the leading choice for very large inference tasks"
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Cost-model validation against the billing ledger (paper Section VI-F).
+
+The paper validates its analytical cost model by predicting charges from
+captured fine-grained metrics and comparing them with the AWS Cost & Usage
+report for the same time window.  Here the "actual" side is the simulated
+billing ledger: the validator scopes the ledger to one run, aggregates the
+compute and communication charges, and reports the relative error of the
+model's prediction per component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cloud import CostReport, PriceBook
+from ..core import InferenceMetrics, InferenceResult
+from .estimator import estimate_from_metrics
+from .model import CostBreakdown
+
+__all__ = ["CostValidationReport", "validate_cost_model"]
+
+
+@dataclass(frozen=True)
+class CostValidationReport:
+    """Predicted vs actual cost for one inference run."""
+
+    predicted: CostBreakdown
+    actual_compute: float
+    actual_communication: float
+
+    @property
+    def actual_total(self) -> float:
+        return self.actual_compute + self.actual_communication
+
+    @property
+    def compute_error(self) -> float:
+        return _relative_error(self.predicted.compute, self.actual_compute)
+
+    @property
+    def communication_error(self) -> float:
+        return _relative_error(self.predicted.communication, self.actual_communication)
+
+    @property
+    def total_error(self) -> float:
+        return _relative_error(self.predicted.total, self.actual_total)
+
+    def within(self, tolerance: float) -> bool:
+        """True when every component error is within ``tolerance`` (fractional)."""
+        return (
+            self.compute_error <= tolerance
+            and self.communication_error <= tolerance
+            and self.total_error <= tolerance
+        )
+
+    def summary(self) -> dict:
+        return {
+            "predicted_compute": self.predicted.compute,
+            "predicted_communication": self.predicted.communication,
+            "predicted_total": self.predicted.total,
+            "actual_compute": self.actual_compute,
+            "actual_communication": self.actual_communication,
+            "actual_total": self.actual_total,
+            "compute_error": self.compute_error,
+            "communication_error": self.communication_error,
+            "total_error": self.total_error,
+        }
+
+
+def _relative_error(predicted: float, actual: float) -> float:
+    if actual == 0.0:
+        return 0.0 if predicted == 0.0 else float("inf")
+    return abs(predicted - actual) / actual
+
+
+def validate_cost_model(
+    result: InferenceResult,
+    worker_memory_mb: float,
+    coordinator_memory_mb: float = 128.0,
+    prices: Optional[PriceBook] = None,
+) -> CostValidationReport:
+    """Compare the analytical prediction with the billed cost of ``result``."""
+    metrics: InferenceMetrics = result.metrics
+    predicted = estimate_from_metrics(
+        metrics,
+        worker_memory_mb=worker_memory_mb,
+        coordinator_memory_mb=coordinator_memory_mb,
+        coordinator_runtime_seconds=metrics.coordinator_seconds,
+        prices=prices,
+    )
+    actual: CostReport = result.cost
+    return CostValidationReport(
+        predicted=predicted,
+        actual_compute=actual.compute_cost,
+        actual_communication=actual.communication_cost,
+    )

@@ -1,0 +1,128 @@
+"""Sparse deep neural network model.
+
+A :class:`SparseDNN` is the model object FSD-Inference performs inference
+over: ``L`` fully-connected layers of equal width ``N`` with sparse weight
+matrices, a per-layer scalar bias, ReLU activation and an activation cap
+(the Graph Challenge recurrence).  The single-process :meth:`forward` pass is
+the reproduction's ground truth -- every distributed variant and baseline is
+checked against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..sparse import as_csr, csr_nbytes, relu_threshold, spmm, add_bias_to_nonzero_structure
+
+__all__ = ["SparseDNN", "LayerStats"]
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Structural statistics of one layer (used by partitioners and reports)."""
+
+    index: int
+    shape: tuple
+    nnz: int
+    bytes: int
+
+
+class SparseDNN:
+    """An ``L``-layer sparse feed-forward network of uniform width ``N``.
+
+    Args:
+        weights: per-layer CSR weight matrices, each of shape ``(N, N)``.
+        biases: per-layer scalar bias added to stored pre-activation entries.
+        activation_cap: saturation value applied after ReLU (Graph Challenge
+            uses 32); ``None`` disables the cap.
+        name: human-readable model identifier (used in object-store keys).
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[sparse.spmatrix],
+        biases: Sequence[float],
+        activation_cap: Optional[float] = 32.0,
+        name: str = "sparse-dnn",
+    ):
+        if not weights:
+            raise ValueError("a SparseDNN needs at least one layer")
+        if len(weights) != len(biases):
+            raise ValueError(
+                f"got {len(weights)} weight matrices but {len(biases)} biases"
+            )
+        self.weights: List[sparse.csr_matrix] = [as_csr(w).astype(np.float64) for w in weights]
+        width = self.weights[0].shape[1]
+        for k, w in enumerate(self.weights):
+            if w.shape != (width, width):
+                raise ValueError(
+                    f"layer {k} has shape {w.shape}; expected ({width}, {width}) -- "
+                    "FSD-Inference assumes uniform layer width"
+                )
+        self.biases: List[float] = [float(b) for b in biases]
+        self.activation_cap = activation_cap
+        self.name = name
+
+    # -- structural properties ----------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    @property
+    def num_neurons(self) -> int:
+        return self.weights[0].shape[0]
+
+    @property
+    def total_nnz(self) -> int:
+        return int(sum(w.nnz for w in self.weights))
+
+    def layer_stats(self) -> List[LayerStats]:
+        return [
+            LayerStats(index=k, shape=w.shape, nnz=int(w.nnz), bytes=csr_nbytes(w))
+            for k, w in enumerate(self.weights)
+        ]
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the full model."""
+        return int(sum(csr_nbytes(w) for w in self.weights))
+
+    # -- inference -------------------------------------------------------------------
+
+    def forward(
+        self, inputs: sparse.spmatrix, return_all_layers: bool = False
+    ) -> sparse.csr_matrix | List[sparse.csr_matrix]:
+        """Single-process forward pass (the correctness ground truth).
+
+        ``inputs`` has shape ``(N, B)``: neurons in rows, samples in columns.
+        """
+        activations = as_csr(inputs).astype(np.float64)
+        if activations.shape[0] != self.num_neurons:
+            raise ValueError(
+                f"inputs have {activations.shape[0]} rows but the model has "
+                f"{self.num_neurons} neurons"
+            )
+        per_layer = []
+        for weight, bias in zip(self.weights, self.biases):
+            pre = spmm(weight, activations)
+            pre = add_bias_to_nonzero_structure(pre, bias)
+            activations = relu_threshold(pre, self.activation_cap)
+            if return_all_layers:
+                per_layer.append(activations)
+        return per_layer if return_all_layers else activations
+
+    def predict_categories(self, inputs: sparse.spmatrix) -> np.ndarray:
+        """Graph Challenge style 'category' output: argmax over neurons per sample."""
+        final = self.forward(inputs)
+        dense = np.asarray(final.todense())
+        return dense.argmax(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SparseDNN(name={self.name!r}, neurons={self.num_neurons}, "
+            f"layers={self.num_layers}, nnz={self.total_nnz})"
+        )

@@ -1,0 +1,101 @@
+"""Serialisation of models, partitions and activations to the object store.
+
+FSD-Inference keeps trained models, their offline-computed partitions and the
+inference inputs in object storage; each FaaS worker reads only its own share
+at invocation time (Figure 1).  The format here is a compact ``zlib``-
+compressed binary encoding of CSR structures -- the same encoding is reused
+for the inter-worker payloads in :mod:`repro.comm.payload`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from typing import Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..cloud import Bucket, VirtualClock
+from ..sparse import as_csr
+from .network import SparseDNN
+
+__all__ = [
+    "serialize_csr",
+    "deserialize_csr",
+    "store_model",
+    "load_layer_rows",
+    "model_key",
+]
+
+_MAGIC = b"FSDC"
+_HEADER = struct.Struct("<4sIIIQ")  # magic, rows, cols, dtype size, nnz
+
+
+def serialize_csr(matrix: sparse.spmatrix, compress: bool = True) -> bytes:
+    """Serialise a CSR matrix to a compact (optionally compressed) byte string."""
+    matrix = as_csr(matrix).astype(np.float64)
+    header = _HEADER.pack(_MAGIC, matrix.shape[0], matrix.shape[1], 4, matrix.nnz)
+    buffer = io.BytesIO()
+    buffer.write(header)
+    buffer.write(matrix.indptr.astype(np.int64).tobytes())
+    buffer.write(matrix.indices.astype(np.int32).tobytes())
+    buffer.write(matrix.data.astype(np.float64).tobytes())
+    raw = buffer.getvalue()
+    if compress:
+        return b"Z" + zlib.compress(raw, level=6)
+    return b"R" + raw
+
+
+def deserialize_csr(payload: bytes) -> sparse.csr_matrix:
+    """Inverse of :func:`serialize_csr`."""
+    if not payload:
+        raise ValueError("cannot deserialise an empty payload")
+    marker, body = payload[:1], payload[1:]
+    if marker == b"Z":
+        raw = zlib.decompress(body)
+    elif marker == b"R":
+        raw = body
+    else:
+        raise ValueError(f"unknown serialisation marker {marker!r}")
+    magic, rows, cols, dtype_size, nnz = _HEADER.unpack_from(raw, 0)
+    if magic != _MAGIC:
+        raise ValueError("payload does not contain a serialised CSR matrix")
+    offset = _HEADER.size
+    indptr = np.frombuffer(raw, dtype=np.int64, count=rows + 1, offset=offset)
+    offset += indptr.nbytes
+    indices = np.frombuffer(raw, dtype=np.int32, count=nnz, offset=offset)
+    offset += indices.nbytes
+    data = np.frombuffer(raw, dtype=np.float64, count=nnz, offset=offset)
+    return sparse.csr_matrix((data, indices, indptr), shape=(rows, cols))
+
+
+def model_key(model_name: str, layer: int, part: str = "full") -> str:
+    """Object-store key of one layer (or one layer partition) of a model."""
+    return f"models/{model_name}/layer-{layer:04d}/{part}.csr"
+
+
+def store_model(
+    model: SparseDNN, bucket: Bucket, clock: VirtualClock, compress: bool = True
+) -> Tuple[int, int]:
+    """Upload every layer of ``model`` to ``bucket``.
+
+    Returns ``(objects_written, total_bytes)``.  This is an offline step in
+    the paper (models are partitioned and staged a priori), so callers
+    typically use a throwaway clock and checkpoint billing afterwards.
+    """
+    total_bytes = 0
+    for k, weight in enumerate(model.weights):
+        payload = serialize_csr(weight, compress=compress)
+        bucket.put_object(model_key(model.name, k), payload, clock)
+        total_bytes += len(payload)
+    return model.num_layers, total_bytes
+
+
+def load_layer_rows(
+    bucket: Bucket, model_name: str, layer: int, clock: VirtualClock, part: str = "full"
+) -> sparse.csr_matrix:
+    """Fetch and decode one stored layer (or layer partition)."""
+    payload = bucket.get_object(model_key(model_name, layer, part), clock)
+    return deserialize_csr(payload)

@@ -1,0 +1,24 @@
+"""Model partitioning: ownership assignment, send/recv maps and quality metrics."""
+
+from .base import Partitioner, aggregate_connectivity, balanced_capacities
+from .hypergraph import HypergraphPartitioner, PartitionQuality, cut_weight
+from .metrics import PartitionMetrics, compare_plans, evaluate_plan
+from .plan import LayerCommMaps, PartitionPlan, build_partition_plan
+from .simple import ContiguousPartitioner, RandomPartitioner
+
+__all__ = [
+    "Partitioner",
+    "aggregate_connectivity",
+    "balanced_capacities",
+    "HypergraphPartitioner",
+    "PartitionQuality",
+    "cut_weight",
+    "PartitionMetrics",
+    "compare_plans",
+    "evaluate_plan",
+    "LayerCommMaps",
+    "PartitionPlan",
+    "build_partition_plan",
+    "ContiguousPartitioner",
+    "RandomPartitioner",
+]

@@ -1,0 +1,72 @@
+"""Static quality metrics of a partition plan.
+
+These metrics are structural (derived from the plan alone, independent of the
+runtime activations): how many activation rows must cross worker boundaries
+per layer, how balanced the per-worker compute load is, and how many
+worker-pair connections each layer requires.  The *dynamic* counterparts
+(actual bytes sent, NNZ per target -- the columns of Table III) are captured
+at run time by ``repro.core.metrics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .plan import PartitionPlan
+
+__all__ = ["PartitionMetrics", "evaluate_plan", "compare_plans"]
+
+
+@dataclass(frozen=True)
+class PartitionMetrics:
+    """Structural metrics of one partition plan."""
+
+    partitioner: str
+    num_workers: int
+    total_rows_transferred: int
+    rows_transferred_per_layer: tuple
+    avg_rows_per_worker_pair: float
+    worker_pairs_per_layer: float
+    load_imbalance: float
+    max_worker_nnz: int
+    min_worker_nnz: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "partitioner": self.partitioner,
+            "num_workers": self.num_workers,
+            "total_rows_transferred": self.total_rows_transferred,
+            "avg_rows_per_worker_pair": self.avg_rows_per_worker_pair,
+            "worker_pairs_per_layer": self.worker_pairs_per_layer,
+            "load_imbalance": self.load_imbalance,
+            "max_worker_nnz": self.max_worker_nnz,
+            "min_worker_nnz": self.min_worker_nnz,
+        }
+
+
+def evaluate_plan(plan: PartitionPlan) -> PartitionMetrics:
+    """Compute structural quality metrics for ``plan``."""
+    per_layer = plan.rows_transferred_per_layer()
+    pairs = [maps.message_pairs() for maps in plan.comm_maps]
+    total_pairs = sum(pairs)
+    total_rows = sum(per_layer)
+    worker_nnz = [plan.worker_weight_nnz(m) for m in range(plan.num_workers)]
+    return PartitionMetrics(
+        partitioner=plan.partitioner_name,
+        num_workers=plan.num_workers,
+        total_rows_transferred=total_rows,
+        rows_transferred_per_layer=tuple(per_layer),
+        avg_rows_per_worker_pair=(total_rows / total_pairs) if total_pairs else 0.0,
+        worker_pairs_per_layer=(total_pairs / len(pairs)) if pairs else 0.0,
+        load_imbalance=plan.load_imbalance(),
+        max_worker_nnz=max(worker_nnz) if worker_nnz else 0,
+        min_worker_nnz=min(worker_nnz) if worker_nnz else 0,
+    )
+
+
+def compare_plans(plans: List[PartitionPlan]) -> Dict[str, PartitionMetrics]:
+    """Evaluate several plans (e.g. HGP-DNN vs RP) keyed by partitioner name."""
+    return {plan.partitioner_name: evaluate_plan(plan) for plan in plans}

@@ -1,0 +1,183 @@
+"""Partition plans: who owns which neuron rows, and who talks to whom.
+
+FSD-Inference parallelises a model through row-wise partitioning of the
+weight matrices and activation vectors (Section III-C).  A
+:class:`PartitionPlan` captures the offline output of that step:
+
+* an *ownership vector* assigning every neuron row to a worker (the same
+  neuron partition is applied at every layer, as in the paper's
+  row-block formulation);
+* per-layer, per-worker weight row blocks ``W^k_m``;
+* per-layer send maps ``Xsend^k_m`` (target worker -> global activation rows
+  this worker must ship to it) and receive maps ``Xrecv^k_m`` (source worker
+  -> global activation rows expected from it).
+
+The send/receive maps are derived purely from the sparsity structure of the
+weights, exactly as the hypergraph-partitioning pre-processing in the paper
+provides them to each worker before inference starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..model import SparseDNN
+from ..sparse import RowBlock, as_csr, csr_nbytes
+
+__all__ = ["LayerCommMaps", "PartitionPlan", "build_partition_plan"]
+
+
+@dataclass
+class LayerCommMaps:
+    """Send and receive maps of one layer.
+
+    ``send[m][n]`` is the array of global activation-row indices worker ``m``
+    must send to worker ``n`` before layer ``k`` can complete;
+    ``recv[m][n]`` is the mirror image.
+    """
+
+    send: List[Dict[int, np.ndarray]]
+    recv: List[Dict[int, np.ndarray]]
+
+    def total_rows_transferred(self) -> int:
+        return int(sum(len(rows) for worker in self.send for rows in worker.values()))
+
+    def message_pairs(self) -> int:
+        """Number of (source, target) pairs that exchange data in this layer."""
+        return sum(len(worker) for worker in self.send)
+
+
+@dataclass
+class PartitionPlan:
+    """The complete offline partitioning artefact for one (model, P) pair."""
+
+    model_name: str
+    num_workers: int
+    owner: np.ndarray
+    weight_blocks: List[List[RowBlock]]
+    comm_maps: List[LayerCommMaps]
+    partitioner_name: str = "unknown"
+
+    # -- structural properties ------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weight_blocks)
+
+    @property
+    def num_neurons(self) -> int:
+        return len(self.owner)
+
+    def worker_rows(self, worker: int) -> np.ndarray:
+        """Global neuron rows owned by ``worker``."""
+        return np.flatnonzero(self.owner == worker)
+
+    def worker_weight_nnz(self, worker: int) -> int:
+        return int(sum(self.weight_blocks[k][worker].nnz for k in range(self.num_layers)))
+
+    def worker_weight_bytes(self, worker: int) -> int:
+        return int(sum(self.weight_blocks[k][worker].nbytes() for k in range(self.num_layers)))
+
+    def load_imbalance(self) -> float:
+        """max(worker nnz) / mean(worker nnz); 1.0 means perfect balance."""
+        loads = np.array([self.worker_weight_nnz(m) for m in range(self.num_workers)], dtype=float)
+        mean = loads.mean()
+        if mean == 0:
+            return 1.0
+        return float(loads.max() / mean)
+
+    def total_rows_transferred(self) -> int:
+        """Total activation-row transfers implied by the send maps (all layers)."""
+        return sum(maps.total_rows_transferred() for maps in self.comm_maps)
+
+    def rows_transferred_per_layer(self) -> List[int]:
+        return [maps.total_rows_transferred() for maps in self.comm_maps]
+
+    def send_map(self, layer: int, worker: int) -> Dict[int, np.ndarray]:
+        return self.comm_maps[layer].send[worker]
+
+    def recv_map(self, layer: int, worker: int) -> Dict[int, np.ndarray]:
+        return self.comm_maps[layer].recv[worker]
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics (useful in reports and tests)."""
+        return {
+            "num_workers": self.num_workers,
+            "num_layers": self.num_layers,
+            "num_neurons": self.num_neurons,
+            "total_rows_transferred": self.total_rows_transferred(),
+            "load_imbalance": self.load_imbalance(),
+            "partitioner": self.partitioner_name,
+        }
+
+
+def build_partition_plan(
+    model: SparseDNN,
+    owner: Sequence[int],
+    num_workers: int,
+    partitioner_name: str = "unknown",
+) -> PartitionPlan:
+    """Derive the full :class:`PartitionPlan` from an ownership vector.
+
+    For every layer ``k`` and worker ``m`` the plan contains the weight row
+    block ``W^k_m`` and the send/receive maps: worker ``n`` needs activation
+    row ``j`` of ``x^{k-1}`` whenever any of its weight rows has a stored
+    entry in column ``j``; if ``j`` is owned by a different worker ``m``,
+    then ``m`` must send it and ``n`` must receive it.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    if owner.shape[0] != model.num_neurons:
+        raise ValueError(
+            f"ownership vector covers {owner.shape[0]} neurons but the model has "
+            f"{model.num_neurons}"
+        )
+    if owner.size and (owner.min() < 0 or owner.max() >= num_workers):
+        raise ValueError("ownership vector references a worker outside [0, num_workers)")
+
+    weight_blocks: List[List[RowBlock]] = []
+    comm_maps: List[LayerCommMaps] = []
+
+    for k, weight in enumerate(model.weights):
+        weight = as_csr(weight)
+        blocks: List[RowBlock] = []
+        send: List[Dict[int, np.ndarray]] = [dict() for _ in range(num_workers)]
+        recv: List[Dict[int, np.ndarray]] = [dict() for _ in range(num_workers)]
+
+        for m in range(num_workers):
+            rows = np.flatnonzero(owner == m)
+            block = RowBlock(global_rows=rows, local=weight[rows, :])
+            blocks.append(block)
+
+            # Columns this worker needs for layer k = union of stored column
+            # indices across its weight rows.
+            needed_cols = np.unique(block.local.indices) if block.nnz else np.empty(0, dtype=np.int64)
+            if needed_cols.size == 0:
+                continue
+            col_owners = owner[needed_cols]
+            remote_mask = col_owners != m
+            remote_cols = needed_cols[remote_mask]
+            remote_owners = col_owners[remote_mask]
+            for source in np.unique(remote_owners):
+                rows_from_source = remote_cols[remote_owners == source]
+                recv[m][int(source)] = rows_from_source.astype(np.int64)
+
+        # Mirror the receive maps into send maps.
+        for target in range(num_workers):
+            for source, rows in recv[target].items():
+                send[source][target] = rows
+
+        weight_blocks.append(blocks)
+        comm_maps.append(LayerCommMaps(send=send, recv=recv))
+
+    return PartitionPlan(
+        model_name=model.name,
+        num_workers=num_workers,
+        owner=owner,
+        weight_blocks=weight_blocks,
+        comm_maps=comm_maps,
+        partitioner_name=partitioner_name,
+    )

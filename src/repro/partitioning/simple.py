@@ -1,0 +1,61 @@
+"""Simple partitioning schemes: random and contiguous row blocks.
+
+``RandomPartitioner`` reproduces the paper's "RP" baseline (PaToH's random
+partitioning mode, Table III); ``ContiguousPartitioner`` is the naive
+block-of-rows scheme that simpler distributed inference systems use.
+Both balance the number of neurons per worker exactly (up to remainder), but
+make no attempt to reduce inter-worker communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model import SparseDNN
+from .base import Partitioner
+
+__all__ = ["RandomPartitioner", "ContiguousPartitioner"]
+
+
+def _chunk_sizes(total: int, parts: int) -> np.ndarray:
+    """Sizes of ``parts`` chunks covering ``total`` items as evenly as possible."""
+    base = total // parts
+    remainder = total % parts
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:remainder] += 1
+    return sizes
+
+
+class RandomPartitioner(Partitioner):
+    """Randomly permute neurons, then split into equal chunks (the paper's RP)."""
+
+    name = "RP"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def assign(self, model: SparseDNN, num_workers: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        permutation = rng.permutation(model.num_neurons)
+        owner = np.empty(model.num_neurons, dtype=np.int64)
+        sizes = _chunk_sizes(model.num_neurons, num_workers)
+        start = 0
+        for part, size in enumerate(sizes):
+            owner[permutation[start:start + size]] = part
+            start += size
+        return owner
+
+
+class ContiguousPartitioner(Partitioner):
+    """Assign contiguous index ranges of neurons to workers."""
+
+    name = "contiguous"
+
+    def assign(self, model: SparseDNN, num_workers: int) -> np.ndarray:
+        owner = np.empty(model.num_neurons, dtype=np.int64)
+        sizes = _chunk_sizes(model.num_neurons, num_workers)
+        start = 0
+        for part, size in enumerate(sizes):
+            owner[start:start + size] = part
+            start += size
+        return owner

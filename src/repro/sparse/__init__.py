@@ -1,0 +1,35 @@
+"""Sparse linear-algebra substrate (row blocks and CSR kernels)."""
+
+from .matrix import (
+    RowBlock,
+    as_csr,
+    csr_nbytes,
+    empty_csr,
+    expand_rows,
+    rows_with_nonzeros,
+    split_rows,
+)
+from .ops import (
+    activation_nnz,
+    add_bias_to_nonzero_structure,
+    flop_count_spmm,
+    relu_threshold,
+    sparsify,
+    spmm,
+)
+
+__all__ = [
+    "RowBlock",
+    "as_csr",
+    "csr_nbytes",
+    "empty_csr",
+    "expand_rows",
+    "rows_with_nonzeros",
+    "split_rows",
+    "activation_nnz",
+    "add_bias_to_nonzero_structure",
+    "flop_count_spmm",
+    "relu_threshold",
+    "sparsify",
+    "spmm",
+]

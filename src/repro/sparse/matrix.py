@@ -1,0 +1,187 @@
+"""Row-block sparse matrix helpers.
+
+FSD-Inference parallelises inference through *row-wise* partitioning of the
+(sparse) weight matrices and activation vectors/matrices (Section III-C).
+This module provides the small set of structural operations the engine and
+the partitioners need on top of ``scipy.sparse``:
+
+* building CSR matrices with validated shapes;
+* slicing a matrix into row blocks given an ownership assignment;
+* extracting a subset of *global* rows from a block that stores them locally;
+* measuring the memory footprint of sparse structures (for the FaaS memory
+  accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+from scipy import sparse
+
+__all__ = [
+    "RowBlock",
+    "as_csr",
+    "split_rows",
+    "csr_nbytes",
+    "rows_with_nonzeros",
+    "empty_csr",
+    "expand_rows",
+]
+
+
+def as_csr(matrix: sparse.spmatrix | np.ndarray) -> sparse.csr_matrix:
+    """Return ``matrix`` as a CSR matrix without copying when already CSR."""
+    if sparse.isspmatrix_csr(matrix):
+        return matrix
+    return sparse.csr_matrix(matrix)
+
+
+def empty_csr(shape: tuple) -> sparse.csr_matrix:
+    """An all-zero CSR matrix of ``shape``."""
+    return sparse.csr_matrix(shape, dtype=np.float64)
+
+
+def csr_nbytes(matrix: sparse.spmatrix) -> int:
+    """Approximate resident bytes of a CSR/CSC matrix (data + indices + indptr)."""
+    matrix = as_csr(matrix)
+    return int(matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes)
+
+
+def rows_with_nonzeros(matrix: sparse.csr_matrix) -> np.ndarray:
+    """Indices of rows that contain at least one nonzero."""
+    matrix = as_csr(matrix)
+    counts = np.diff(matrix.indptr)
+    return np.flatnonzero(counts > 0)
+
+
+@dataclass
+class RowBlock:
+    """A block of rows of a larger (virtual) matrix.
+
+    ``global_rows`` holds the global row indices, in the order in which they
+    are stored in ``local``; ``local`` has ``len(global_rows)`` rows and the
+    full global column dimension, so products against other blocks need no
+    column re-indexing.
+    """
+
+    global_rows: np.ndarray
+    local: sparse.csr_matrix
+
+    def __post_init__(self) -> None:
+        self.global_rows = np.asarray(self.global_rows, dtype=np.int64)
+        self.local = as_csr(self.local)
+        if self.local.shape[0] != len(self.global_rows):
+            raise ValueError(
+                f"row block stores {self.local.shape[0]} rows but was given "
+                f"{len(self.global_rows)} global row indices"
+            )
+        # Map from global row index to local position, for O(1) extraction.
+        self._position: Dict[int, int] = {
+            int(g): i for i, g in enumerate(self.global_rows)
+        }
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.global_rows)
+
+    @property
+    def num_cols(self) -> int:
+        return self.local.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.local.nnz)
+
+    def nbytes(self) -> int:
+        return csr_nbytes(self.local) + self.global_rows.nbytes
+
+    def owns(self, global_row: int) -> bool:
+        return int(global_row) in self._position
+
+    def local_index(self, global_row: int) -> int:
+        """Local position of ``global_row``; raises ``KeyError`` if not owned."""
+        return self._position[int(global_row)]
+
+    def extract_rows(self, global_rows: Sequence[int]) -> sparse.csr_matrix:
+        """Extract the given global rows as a CSR matrix (rows in given order)."""
+        locals_ = [self._position[int(g)] for g in global_rows]
+        return self.local[locals_, :]
+
+    def extract_nonempty_rows(self, global_rows: Sequence[int]) -> tuple:
+        """Split ``global_rows`` into (rows with data, rows without data).
+
+        FSD-Inf-Object uses this to decide between writing a ``.dat`` object
+        (some rows carry nonzeros) and a ``.nul`` marker (nothing to send).
+        """
+        nonzero_local = set(rows_with_nonzeros(self.local).tolist())
+        with_data = [g for g in global_rows if self._position[int(g)] in nonzero_local]
+        without_data = [g for g in global_rows if self._position[int(g)] not in nonzero_local]
+        return with_data, without_data
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.local.todense())
+
+
+def expand_rows(
+    global_rows: Sequence[int],
+    rows: sparse.spmatrix,
+    total_rows: int,
+) -> sparse.csr_matrix:
+    """Scatter a row block back into a ``(total_rows, cols)`` CSR matrix.
+
+    ``rows`` holds ``len(global_rows)`` rows; the result places row ``i`` of
+    ``rows`` at global position ``global_rows[i]`` and leaves every other row
+    empty.  This is how a worker combines its own activation rows with rows
+    received from peers before multiplying against its weight block.
+    """
+    rows = as_csr(rows)
+    global_rows = np.asarray(global_rows, dtype=np.int64)
+    if rows.shape[0] != len(global_rows):
+        raise ValueError(
+            f"row block stores {rows.shape[0]} rows but was given "
+            f"{len(global_rows)} global row indices"
+        )
+    if len(global_rows) and (global_rows.min() < 0 or global_rows.max() >= total_rows):
+        raise ValueError("a global row index falls outside the expanded matrix")
+
+    indptr = np.zeros(total_rows + 1, dtype=np.int64)
+    local_counts = np.diff(rows.indptr)
+    indptr[global_rows + 1] = local_counts
+    np.cumsum(indptr, out=indptr)
+
+    data = np.empty(rows.nnz, dtype=rows.data.dtype)
+    indices = np.empty(rows.nnz, dtype=rows.indices.dtype)
+    # The rows of the expanded matrix must appear in ascending global order.
+    order = np.argsort(global_rows, kind="stable")
+    cursor = 0
+    for local in order:
+        start, stop = rows.indptr[local], rows.indptr[local + 1]
+        size = stop - start
+        data[cursor:cursor + size] = rows.data[start:stop]
+        indices[cursor:cursor + size] = rows.indices[start:stop]
+        cursor += size
+    return sparse.csr_matrix((data, indices, indptr), shape=(total_rows, rows.shape[1]))
+
+
+def split_rows(matrix: sparse.spmatrix, owner: np.ndarray, num_parts: int) -> List[RowBlock]:
+    """Split ``matrix`` into ``num_parts`` row blocks according to ``owner``.
+
+    ``owner[i]`` gives the part that owns global row ``i``.  Every part
+    receives a :class:`RowBlock`, possibly with zero rows.
+    """
+    matrix = as_csr(matrix)
+    owner = np.asarray(owner)
+    if owner.shape[0] != matrix.shape[0]:
+        raise ValueError(
+            f"ownership vector has {owner.shape[0]} entries but the matrix has "
+            f"{matrix.shape[0]} rows"
+        )
+    if owner.size and (owner.min() < 0 or owner.max() >= num_parts):
+        raise ValueError("ownership vector references a part outside [0, num_parts)")
+    blocks = []
+    for part in range(num_parts):
+        rows = np.flatnonzero(owner == part)
+        blocks.append(RowBlock(global_rows=rows, local=matrix[rows, :]))
+    return blocks

@@ -1,0 +1,31 @@
+"""Workload generators: Graph Challenge networks, input batches, sporadic queries."""
+
+from .graph_challenge import (
+    GraphChallengeConfig,
+    PAPER_BATCH_SIZE,
+    PAPER_BIASES,
+    PAPER_LAYER_COUNT,
+    PAPER_NEURON_COUNTS,
+    PAPER_WORKER_COUNTS,
+    PAPER_WORKER_MEMORY_MB,
+    build_graph_challenge_model,
+    generate_input_batch,
+    paper_configuration,
+)
+from .sporadic import InferenceQuery, SporadicWorkload, generate_sporadic_workload
+
+__all__ = [
+    "GraphChallengeConfig",
+    "PAPER_BATCH_SIZE",
+    "PAPER_BIASES",
+    "PAPER_LAYER_COUNT",
+    "PAPER_NEURON_COUNTS",
+    "PAPER_WORKER_COUNTS",
+    "PAPER_WORKER_MEMORY_MB",
+    "build_graph_challenge_model",
+    "generate_input_batch",
+    "paper_configuration",
+    "InferenceQuery",
+    "SporadicWorkload",
+    "generate_sporadic_workload",
+]

@@ -1,0 +1,126 @@
+"""Sporadic inference workload model (Section VI-C).
+
+The paper motivates FSD-Inference with *sporadic* workloads: queries arrive
+at irregular and unpredictable intervals over a day, mixing different model
+sizes, so neither always-on servers (paying for idle capacity) nor job-scoped
+servers (paying start-up latency per query) are good fits.
+
+This module generates such workloads deterministically: a 24-hour horizon, a
+target daily sample volume, queries of a fixed batch size spread evenly over
+the configured neuron counts, and arrival times drawn from a Poisson process
+(seeded, so experiments are reproducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .graph_challenge import PAPER_BATCH_SIZE, PAPER_NEURON_COUNTS
+
+__all__ = ["InferenceQuery", "SporadicWorkload", "generate_sporadic_workload"]
+
+_SECONDS_PER_DAY = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class InferenceQuery:
+    """One inference request within a sporadic workload."""
+
+    query_id: int
+    arrival_time: float
+    neurons: int
+    samples: int
+
+
+@dataclass
+class SporadicWorkload:
+    """A day's worth of sporadic inference queries."""
+
+    queries: List[InferenceQuery]
+    horizon_seconds: float = _SECONDS_PER_DAY
+
+    @property
+    def total_samples(self) -> int:
+        return sum(q.samples for q in self.queries)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def queries_by_neurons(self) -> Dict[int, List[InferenceQuery]]:
+        grouped: Dict[int, List[InferenceQuery]] = {}
+        for query in self.queries:
+            grouped.setdefault(query.neurons, []).append(query)
+        return grouped
+
+    def samples_by_neurons(self) -> Dict[int, int]:
+        return {n: sum(q.samples for q in qs) for n, qs in self.queries_by_neurons().items()}
+
+    def max_concurrent_queries(self, query_duration_seconds: float) -> int:
+        """Upper bound on overlapping queries if each runs for the given duration."""
+        events: List[Tuple[float, int]] = []
+        for query in self.queries:
+            events.append((query.arrival_time, 1))
+            events.append((query.arrival_time + query_duration_seconds, -1))
+        events.sort()
+        concurrent = peak = 0
+        for _, delta in events:
+            concurrent += delta
+            peak = max(peak, concurrent)
+        return peak
+
+
+def generate_sporadic_workload(
+    daily_samples: int,
+    batch_size: int = PAPER_BATCH_SIZE,
+    neuron_counts: Sequence[int] = PAPER_NEURON_COUNTS,
+    seed: int = 13,
+    horizon_seconds: float = _SECONDS_PER_DAY,
+) -> SporadicWorkload:
+    """Build a sporadic workload with ``daily_samples`` spread evenly over models.
+
+    Queries are ``batch_size`` samples each (the last query of each model size
+    absorbs the remainder), matching the paper's Figure 4 setup where the
+    daily query volume is "evenly spread between N = 1024, 4096, 16384 and
+    65536".
+    """
+    if daily_samples < 1:
+        raise ValueError("daily_samples must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    if not neuron_counts:
+        raise ValueError("at least one neuron count is required")
+
+    rng = np.random.default_rng(seed)
+    per_model = daily_samples // len(neuron_counts)
+    remainder = daily_samples - per_model * len(neuron_counts)
+
+    queries: List[InferenceQuery] = []
+    query_id = 0
+    for index, neurons in enumerate(neuron_counts):
+        samples_for_model = per_model + (remainder if index == 0 else 0)
+        if samples_for_model == 0:
+            continue
+        full_queries, tail = divmod(samples_for_model, batch_size)
+        sizes = [batch_size] * full_queries + ([tail] if tail else [])
+        arrival_times = np.sort(rng.uniform(0.0, horizon_seconds, size=len(sizes)))
+        for size, arrival in zip(sizes, arrival_times):
+            queries.append(
+                InferenceQuery(
+                    query_id=query_id,
+                    arrival_time=float(arrival),
+                    neurons=int(neurons),
+                    samples=int(size),
+                )
+            )
+            query_id += 1
+
+    queries.sort(key=lambda q: q.arrival_time)
+    queries = [
+        InferenceQuery(query_id=i, arrival_time=q.arrival_time, neurons=q.neurons, samples=q.samples)
+        for i, q in enumerate(queries)
+    ]
+    return SporadicWorkload(queries=queries, horizon_seconds=horizon_seconds)

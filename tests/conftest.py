@@ -1,0 +1,54 @@
+"""Shared fixtures: a small Graph Challenge model, input batch and cloud env."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CloudEnvironment,
+    GraphChallengeConfig,
+    HypergraphPartitioner,
+    build_graph_challenge_model,
+    generate_input_batch,
+)
+
+
+@pytest.fixture
+def cloud():
+    """A fresh simulated cloud environment per test."""
+    return CloudEnvironment()
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A small but structurally realistic Graph Challenge configuration."""
+    return GraphChallengeConfig(
+        neurons=256,
+        layers=4,
+        nnz_per_row=8,
+        num_communities=16,
+        community_link_fraction=0.9,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_model(small_config):
+    return build_graph_challenge_model(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_batch(small_model):
+    return generate_input_batch(small_model.num_neurons, samples=12, density=0.3, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_expected(small_model, small_batch):
+    """Ground-truth output of the single-process forward pass."""
+    return small_model.forward(small_batch)
+
+
+@pytest.fixture(scope="session")
+def small_plan(small_model):
+    """A 4-worker hypergraph partition plan of the small model."""
+    return HypergraphPartitioner(seed=3).partition(small_model, 4)

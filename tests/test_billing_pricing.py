@@ -1,0 +1,120 @@
+"""Tests for the price book and the billing ledger."""
+
+import pytest
+
+from repro.cloud.billing import (
+    SERVICE_FAAS,
+    SERVICE_OBJECT,
+    SERVICE_PUBSUB,
+    SERVICE_QUEUE,
+    BillingLedger,
+)
+from repro.cloud.pricing import EC2_HOURLY_PRICES, PriceBook
+
+
+class TestPriceBook:
+    def test_default_lambda_prices_match_aws(self):
+        prices = PriceBook()
+        assert prices.faas_price_per_invocation == pytest.approx(2e-7)
+        assert prices.faas_price_per_gb_second == pytest.approx(0.0000166667)
+
+    def test_publish_billed_in_64kb_increments(self):
+        prices = PriceBook()
+        assert prices.pubsub_billed_requests(1) == 1
+        assert prices.pubsub_billed_requests(64 * 1024) == 1
+        assert prices.pubsub_billed_requests(64 * 1024 + 1) == 2
+        assert prices.pubsub_billed_requests(256 * 1024) == 4
+
+    def test_empty_publish_still_billed_once(self):
+        assert PriceBook().pubsub_billed_requests(0) == 1
+
+    def test_queue_requests_billed_in_increments(self):
+        prices = PriceBook()
+        assert prices.queue_billed_requests(10) == 1
+        assert prices.queue_billed_requests(65 * 1024) == 2
+
+    def test_pubsub_api_an_order_of_magnitude_cheaper_than_object_put(self):
+        # Section IV-C: queue/pub-sub API requests are ~1 OOM cheaper than S3.
+        prices = PriceBook()
+        assert prices.object_price_per_put / prices.pubsub_price_per_publish >= 9
+        assert prices.object_price_per_list / prices.queue_price_per_request >= 9
+
+    def test_vm_hourly_price_lookup(self):
+        prices = PriceBook()
+        assert prices.vm_hourly_price("c5.12xlarge") == EC2_HOURLY_PRICES["c5.12xlarge"]
+
+    def test_unknown_instance_type_raises(self):
+        with pytest.raises(KeyError):
+            PriceBook().vm_hourly_price("m5.mythical")
+
+    def test_with_overrides_returns_modified_copy(self):
+        prices = PriceBook()
+        cheaper = prices.with_overrides(object_price_per_get=1e-9)
+        assert cheaper.object_price_per_get == 1e-9
+        assert prices.object_price_per_get != 1e-9
+
+
+class TestBillingLedger:
+    def test_record_and_total(self):
+        ledger = BillingLedger()
+        ledger.record(SERVICE_FAAS, "invocation", "fn", 1, 0.10, 0.0)
+        ledger.record(SERVICE_QUEUE, "receive", "q", 2, 0.05, 1.0)
+        assert ledger.total_cost() == pytest.approx(0.15)
+        assert ledger.total_cost(SERVICE_QUEUE) == pytest.approx(0.05)
+        assert len(ledger) == 2
+
+    def test_negative_quantities_rejected(self):
+        ledger = BillingLedger()
+        with pytest.raises(ValueError):
+            ledger.record(SERVICE_FAAS, "invocation", "fn", -1, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            ledger.record(SERVICE_FAAS, "invocation", "fn", 1, -0.1, 0.0)
+
+    def test_filter_by_service_and_time(self):
+        ledger = BillingLedger()
+        ledger.record(SERVICE_OBJECT, "put", "bucket-a", 1, 0.01, 1.0)
+        ledger.record(SERVICE_OBJECT, "get", "bucket-a", 1, 0.02, 5.0)
+        ledger.record(SERVICE_PUBSUB, "publish", "topic-0", 1, 0.03, 2.0)
+        puts = ledger.filter(service=SERVICE_OBJECT, operation="put")
+        assert len(puts) == 1
+        recent = ledger.filter(start_time=2.0)
+        assert {r.operation for r in recent} == {"get", "publish"}
+        prefixed = ledger.filter(resource_prefix="bucket")
+        assert len(prefixed) == 2
+
+    def test_report_aggregates_by_service(self):
+        ledger = BillingLedger()
+        ledger.record(SERVICE_FAAS, "gb_seconds", "fn", 10, 0.2, 0.0)
+        ledger.record(SERVICE_QUEUE, "receive", "q", 1, 0.01, 0.0)
+        ledger.record(SERVICE_PUBSUB, "publish", "t", 1, 0.02, 0.0)
+        report = ledger.report()
+        assert report.total == pytest.approx(0.23)
+        assert report.compute_cost == pytest.approx(0.2)
+        assert report.communication_cost == pytest.approx(0.03)
+        assert report.record_count == 3
+
+    def test_checkpoint_scopes_reports(self):
+        ledger = BillingLedger()
+        ledger.record(SERVICE_FAAS, "invocation", "fn", 1, 0.5, 0.0)
+        mark = ledger.checkpoint()
+        ledger.record(SERVICE_FAAS, "invocation", "fn", 1, 0.25, 1.0)
+        assert ledger.report_since(mark).total == pytest.approx(0.25)
+        assert ledger.report().total == pytest.approx(0.75)
+
+    def test_invalid_checkpoint_rejected(self):
+        with pytest.raises(ValueError):
+            BillingLedger().records_since(-1)
+
+    def test_reset_clears_records(self):
+        ledger = BillingLedger()
+        ledger.record(SERVICE_FAAS, "invocation", "fn", 1, 0.5, 0.0)
+        ledger.reset()
+        assert len(ledger) == 0
+        assert ledger.report().total == 0.0
+
+    def test_total_quantity_by_operation(self):
+        ledger = BillingLedger()
+        ledger.record(SERVICE_OBJECT, "put", "b", 3, 0.01, 0.0)
+        ledger.record(SERVICE_OBJECT, "put", "b", 2, 0.01, 0.0)
+        ledger.record(SERVICE_OBJECT, "get", "b", 7, 0.01, 0.0)
+        assert ledger.total_quantity(SERVICE_OBJECT, "put") == 5

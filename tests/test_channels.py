@@ -1,0 +1,259 @@
+"""Tests for the FSD-Inf-Queue and FSD-Inf-Object communication channels."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.cloud import CloudEnvironment, VirtualClock
+from repro.cloud.billing import SERVICE_OBJECT, SERVICE_PUBSUB, SERVICE_QUEUE
+from repro.comm import (
+    ObjectChannel,
+    ObjectChannelConfig,
+    QueueChannel,
+    QueueChannelConfig,
+    ThreadPool,
+)
+
+
+def make_rows(num_rows, cols=8, density=0.5, seed=0, start=0):
+    rng = np.random.default_rng(seed)
+    matrix = sparse.random(num_rows, cols, density=density, format="csr", random_state=rng, dtype=np.float32)
+    return np.arange(start, start + num_rows), matrix
+
+
+@pytest.fixture
+def queue_channel(cloud):
+    channel = QueueChannel(cloud, QueueChannelConfig(num_topics=2, long_poll_wait_seconds=2.0))
+    channel.prepare(num_workers=4)
+    return channel
+
+
+@pytest.fixture
+def object_channel(cloud):
+    channel = ObjectChannel(cloud, ObjectChannelConfig(num_buckets=2))
+    channel.prepare(num_workers=4)
+    return channel
+
+
+class TestThreadPool:
+    def test_single_thread_serialises_work(self):
+        clock = VirtualClock()
+        pool = ThreadPool(clock, threads=1)
+        for _ in range(3):
+            pool.run(lambda c: c.advance(1.0))
+        pool.join()
+        assert clock.now == pytest.approx(3.0)
+
+    def test_multiple_threads_overlap_work(self):
+        clock = VirtualClock()
+        pool = ThreadPool(clock, threads=3)
+        for _ in range(3):
+            pool.run(lambda c: c.advance(1.0))
+        pool.join()
+        assert clock.now == pytest.approx(1.0)
+
+    def test_join_advances_to_latest_lane(self):
+        clock = VirtualClock()
+        pool = ThreadPool(clock, threads=2)
+        pool.run(lambda c: c.advance(5.0))
+        pool.run(lambda c: c.advance(1.0))
+        pool.join()
+        assert clock.now == pytest.approx(5.0)
+
+    def test_requires_at_least_one_thread(self):
+        with pytest.raises(ValueError):
+            ThreadPool(VirtualClock(), threads=0)
+
+
+class TestQueueChannel:
+    def test_prepare_creates_topics_and_queues(self, cloud, queue_channel):
+        assert len(cloud.pubsub.list_topics()) == 2
+        assert len(cloud.queues.list_queues()) == 4
+
+    def test_prepare_is_idempotent(self, cloud, queue_channel):
+        queue_channel.prepare(num_workers=4)
+        assert len(cloud.queues.list_queues()) == 4
+
+    def test_send_then_poll_round_trip(self, queue_channel):
+        rows, matrix = make_rows(6, seed=1)
+        sender_clock = VirtualClock()
+        pool = ThreadPool(sender_clock, 2)
+        result = queue_channel.send(layer=0, source=1, target=2, global_rows=rows, rows=matrix, pool=pool)
+        pool.join()
+        assert result.bytes_sent > 0
+
+        receiver_clock = VirtualClock()
+        outcome = queue_channel.poll(layer=0, worker=2, pending_sources={1}, clock=receiver_clock)
+        assert outcome.completed_sources == {1}
+        block = outcome.blocks[0]
+        np.testing.assert_array_equal(block.global_rows, rows)
+        assert (block.rows != matrix).nnz == 0
+
+    def test_messages_filtered_to_target_worker(self, queue_channel):
+        rows, matrix = make_rows(3, seed=2)
+        pool = ThreadPool(VirtualClock(), 1)
+        queue_channel.send(0, 0, 3, rows, matrix, pool)
+        pool.join()
+        # Worker 1 polls and must see nothing addressed to worker 3.
+        outcome = queue_channel.poll(0, 1, {0}, VirtualClock())
+        assert outcome.blocks == []
+        assert outcome.completed_sources == set()
+
+    def test_large_transfer_split_into_multiple_chunks(self, cloud):
+        channel = QueueChannel(cloud, QueueChannelConfig(num_topics=1, max_message_bytes=8 * 1024))
+        channel.prepare(2)
+        rng = np.random.default_rng(3)
+        matrix = sparse.random(200, 300, density=0.5, format="csr", random_state=rng, dtype=np.float32)
+        rows = np.arange(200)
+        pool = ThreadPool(VirtualClock(), 4)
+        result = channel.send(1, 0, 1, rows, matrix, pool)
+        pool.join()
+        assert result.chunks > 1
+
+        clock = VirtualClock()
+        pending = {0}
+        received = None
+        while pending:
+            outcome = channel.poll(1, 1, pending, clock)
+            for block in outcome.blocks:
+                received = block
+            pending -= outcome.completed_sources
+        assert received is not None
+        # Chunks may arrive out of order; values must match after reordering by
+        # the global row ids carried in the payloads.
+        order = np.argsort(received.global_rows)
+        np.testing.assert_array_equal(received.global_rows[order], rows)
+        reordered = received.rows[order, :]
+        assert (reordered != matrix).nnz == 0
+
+    def test_empty_row_transfer_still_completes_source(self, queue_channel):
+        empty = sparse.csr_matrix((0, 8), dtype=np.float32)
+        pool = ThreadPool(VirtualClock(), 1)
+        queue_channel.send(0, 0, 1, np.array([], dtype=np.int64), empty, pool)
+        pool.join()
+        outcome = queue_channel.poll(0, 1, {0}, VirtualClock())
+        assert outcome.completed_sources == {0}
+
+    def test_billing_records_created(self, cloud, queue_channel):
+        rows, matrix = make_rows(4, seed=4)
+        pool = ThreadPool(VirtualClock(), 1)
+        queue_channel.send(0, 0, 1, rows, matrix, pool)
+        pool.join()
+        queue_channel.poll(0, 1, {0}, VirtualClock())
+        assert cloud.ledger.filter(service=SERVICE_PUBSUB, operation="publish")
+        assert cloud.ledger.filter(service=SERVICE_QUEUE, operation="receive")
+
+    def test_stats_accumulate(self, queue_channel):
+        rows, matrix = make_rows(4, seed=5)
+        pool = ThreadPool(VirtualClock(), 1)
+        queue_channel.send(0, 0, 1, rows, matrix, pool)
+        pool.join()
+        queue_channel.poll(0, 1, {0}, VirtualClock())
+        stats = queue_channel.stats
+        assert stats.messages_sent >= 1
+        assert stats.publish_calls >= 1
+        assert stats.poll_calls == 1
+        assert stats.bytes_sent > 0
+        assert stats.bytes_received > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            QueueChannelConfig(num_topics=0)
+        with pytest.raises(ValueError):
+            QueueChannelConfig(long_poll_wait_seconds=-1)
+        with pytest.raises(ValueError):
+            QueueChannelConfig(max_message_bytes=100)
+
+
+class TestObjectChannel:
+    def test_prepare_creates_buckets(self, cloud, object_channel):
+        assert len(cloud.object_storage.list_buckets()) == 2
+
+    def test_send_then_poll_round_trip(self, object_channel):
+        rows, matrix = make_rows(5, seed=6)
+        pool = ThreadPool(VirtualClock(), 2)
+        result = object_channel.send(2, 0, 3, rows, matrix, pool)
+        pool.join()
+        assert result.api_calls == 1
+
+        clock = VirtualClock(10.0)
+        outcome = object_channel.poll(2, 3, {0}, clock)
+        assert outcome.completed_sources == {0}
+        block = outcome.blocks[0]
+        np.testing.assert_array_equal(block.global_rows, rows)
+        assert (block.rows != matrix).nnz == 0
+
+    def test_empty_transfer_writes_nul_marker(self, cloud, object_channel):
+        empty = sparse.csr_matrix((0, 8), dtype=np.float32)
+        pool = ThreadPool(VirtualClock(), 1)
+        result = object_channel.send(1, 2, 0, np.array([], dtype=np.int64), empty, pool)
+        pool.join()
+        assert result.bytes_sent == 0
+        bucket = cloud.object_storage.get_bucket("fsd-bucket-0")
+        assert bucket.object_exists("1/0/2_0.nul")
+        # The receiver completes the source without issuing any GET.
+        gets_before = object_channel.stats.get_calls
+        outcome = object_channel.poll(1, 0, {2}, VirtualClock(5.0))
+        assert outcome.completed_sources == {2}
+        assert object_channel.stats.get_calls == gets_before
+
+    def test_zero_rows_with_zero_nnz_also_writes_nul(self, object_channel):
+        all_zero = sparse.csr_matrix((3, 8), dtype=np.float32)
+        pool = ThreadPool(VirtualClock(), 1)
+        result = object_channel.send(0, 1, 2, np.array([4, 5, 6]), all_zero, pool)
+        pool.join()
+        assert result.bytes_sent == 0
+
+    def test_poll_skips_sources_not_pending(self, object_channel):
+        rows, matrix = make_rows(3, seed=7)
+        pool = ThreadPool(VirtualClock(), 1)
+        object_channel.send(0, 0, 1, rows, matrix, pool)
+        object_channel.send(0, 2, 1, rows, matrix, pool)
+        pool.join()
+        outcome = object_channel.poll(0, 1, {2}, VirtualClock(10.0))
+        assert outcome.completed_sources == {2}
+        assert all(block.source == 2 for block in outcome.blocks)
+
+    def test_empty_scan_advances_clock_by_backoff(self, object_channel):
+        clock = VirtualClock()
+        outcome = object_channel.poll(5, 0, {1}, clock)
+        assert outcome.blocks == []
+        assert clock.now > 0.0
+
+    def test_receiver_cannot_see_future_writes(self, object_channel):
+        """An object written at virtual time T is invisible to a scan at T' < T."""
+        rows, matrix = make_rows(4, seed=8)
+        sender_clock = VirtualClock(100.0)
+        pool = ThreadPool(sender_clock, 1)
+        object_channel.send(0, 0, 1, rows, matrix, pool)
+        pool.join()
+        early = object_channel.poll(0, 1, {0}, VirtualClock(0.0))
+        assert early.completed_sources == set()
+
+    def test_billing_records_created(self, cloud, object_channel):
+        rows, matrix = make_rows(4, seed=9)
+        pool = ThreadPool(VirtualClock(), 1)
+        object_channel.send(0, 0, 1, rows, matrix, pool)
+        pool.join()
+        object_channel.poll(0, 1, {0}, VirtualClock(10.0))
+        operations = {r.operation for r in cloud.ledger.filter(service=SERVICE_OBJECT)}
+        assert {"put", "list", "get"} <= operations
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectChannelConfig(num_buckets=0)
+        with pytest.raises(ValueError):
+            ObjectChannelConfig(scan_backoff_seconds=-0.1)
+
+
+class TestChannelCapabilities:
+    def test_table1_feature_profiles(self):
+        queue_caps = QueueChannel.capabilities
+        object_caps = ObjectChannel.capabilities
+        # Both channels are fully serverless with direct consumer access (Table I).
+        assert queue_caps.serverless and object_caps.serverless
+        assert queue_caps.direct_consumer_access and object_caps.direct_consumer_access
+        # Only the pub-sub/queueing channel offers service-side filtering;
+        # only object storage offers flexible (size-unconstrained) payloads.
+        assert queue_caps.service_side_filtering and not object_caps.service_side_filtering
+        assert object_caps.flexible_payloads and not queue_caps.flexible_payloads

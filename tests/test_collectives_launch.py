@@ -1,0 +1,202 @@
+"""Tests for the MPI-style collectives and the hierarchical launch tree."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.cloud import CloudEnvironment, FunctionConfig, VirtualClock
+from repro.comm import (
+    ObjectChannel,
+    QueueChannel,
+    all_gather_rows,
+    barrier,
+    broadcast_rows,
+    reduce_to_root,
+)
+from repro.core import LaunchTree, launch_worker_tree
+
+
+def contributions_for(workers, cols=4, seed=0):
+    """One disjoint row slice per worker covering rows [0, workers*2)."""
+    rng = np.random.default_rng(seed)
+    contributions = {}
+    for worker in range(workers):
+        rows = np.array([2 * worker, 2 * worker + 1])
+        matrix = sparse.random(2, cols, density=0.8, format="csr", random_state=rng, dtype=np.float32)
+        contributions[worker] = (rows, matrix)
+    return contributions
+
+
+class TestBarrier:
+    def test_barrier_synchronises_clocks(self):
+        clocks = [VirtualClock(1.0), VirtualClock(5.0), VirtualClock(3.0)]
+        synced = barrier(clocks)
+        assert synced == 5.0
+        assert all(clock.now == 5.0 for clock in clocks)
+
+    def test_barrier_with_overhead(self):
+        clocks = [VirtualClock(2.0), VirtualClock(1.0)]
+        synced = barrier(clocks, overhead_seconds=0.5)
+        assert synced == pytest.approx(2.5)
+
+    def test_empty_barrier_rejected(self):
+        with pytest.raises(ValueError):
+            barrier([])
+
+
+@pytest.mark.parametrize("channel_type", ["queue", "object"])
+class TestReduceBroadcastGather:
+    def _channel(self, cloud, channel_type, workers):
+        channel = QueueChannel(cloud) if channel_type == "queue" else ObjectChannel(cloud)
+        channel.prepare(workers)
+        return channel
+
+    def test_reduce_to_root_assembles_all_rows(self, cloud, channel_type):
+        workers = 3
+        channel = self._channel(cloud, channel_type, workers)
+        contributions = contributions_for(workers, seed=1)
+        clocks = {w: VirtualClock() for w in range(workers)}
+        assembled = reduce_to_root(channel, layer=9, root=0, contributions=contributions, clocks=clocks)
+        assert assembled.shape[0] == workers * 2
+        for worker, (rows, matrix) in contributions.items():
+            np.testing.assert_allclose(
+                np.asarray(assembled[rows, :].todense()),
+                np.asarray(matrix.todense()),
+                rtol=1e-6,
+            )
+
+    def test_reduce_requires_root_contribution(self, cloud, channel_type):
+        channel = self._channel(cloud, channel_type, 2)
+        contributions = {1: (np.array([0]), sparse.csr_matrix((1, 4)))}
+        with pytest.raises(ValueError):
+            reduce_to_root(channel, 0, 0, contributions, {1: VirtualClock()})
+
+    def test_reduce_advances_root_clock(self, cloud, channel_type):
+        workers = 2
+        channel = self._channel(cloud, channel_type, workers)
+        contributions = contributions_for(workers, seed=2)
+        clocks = {w: VirtualClock() for w in range(workers)}
+        reduce_to_root(channel, 3, 0, contributions, clocks)
+        assert clocks[0].now > 0.0
+
+    def test_broadcast_reaches_every_worker(self, cloud, channel_type):
+        workers = 3
+        channel = self._channel(cloud, channel_type, workers)
+        rows = np.array([0, 1, 2])
+        rng = np.random.default_rng(3)
+        matrix = sparse.random(3, 5, density=0.9, format="csr", random_state=rng, dtype=np.float32)
+        clocks = {w: VirtualClock() for w in range(workers)}
+        results = broadcast_rows(channel, 4, 0, rows, matrix, clocks)
+        assert set(results) == {0, 1, 2}
+        for worker in range(1, workers):
+            received_rows, received = results[worker]
+            np.testing.assert_array_equal(received_rows, rows)
+            assert (received != matrix).nnz == 0
+
+    def test_all_gather_gives_everyone_everything(self, cloud, channel_type):
+        workers = 3
+        channel = self._channel(cloud, channel_type, workers)
+        contributions = contributions_for(workers, seed=4)
+        clocks = {w: VirtualClock() for w in range(workers)}
+        gathered = all_gather_rows(channel, 7, contributions, clocks)
+        for receiver in range(workers):
+            assert set(gathered[receiver]) == set(range(workers))
+            for source, (rows, matrix) in contributions.items():
+                got_rows, got = gathered[receiver][source]
+                np.testing.assert_array_equal(np.sort(got_rows), np.sort(rows))
+                assert got.nnz == matrix.nnz
+
+
+class TestLaunchTree:
+    def test_root_has_no_parent(self):
+        tree = LaunchTree(num_workers=7, branching_factor=2)
+        assert tree.parent(0) is None
+
+    def test_parent_child_consistency(self):
+        tree = LaunchTree(num_workers=13, branching_factor=3)
+        for worker in range(1, 13):
+            parent = tree.parent(worker)
+            assert worker in tree.children(parent)
+
+    def test_every_worker_reachable_exactly_once(self):
+        tree = LaunchTree(num_workers=20, branching_factor=4)
+        seen = [0]
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for child in tree.children(node):
+                seen.append(child)
+                frontier.append(child)
+        assert sorted(seen) == list(range(20))
+
+    def test_rank_of_matches_children(self):
+        tree = LaunchTree(num_workers=10, branching_factor=3)
+        for parent in range(3):
+            for sibling, child in enumerate(tree.children(parent)):
+                assert tree.rank_of(parent, sibling) == child
+
+    def test_depth_and_height(self):
+        tree = LaunchTree(num_workers=8, branching_factor=2)
+        assert tree.depth(0) == 0
+        assert tree.depth(1) == 1
+        assert tree.depth(7) == 3
+        assert tree.height() == 3
+
+    def test_height_shrinks_with_branching_factor(self):
+        deep = LaunchTree(num_workers=62, branching_factor=2).height()
+        shallow = LaunchTree(num_workers=62, branching_factor=8).height()
+        assert shallow < deep
+
+    def test_leaves_have_no_children(self):
+        tree = LaunchTree(num_workers=5, branching_factor=4)
+        assert tree.is_leaf(4)
+        assert not tree.is_leaf(0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LaunchTree(num_workers=0, branching_factor=2)
+        with pytest.raises(ValueError):
+            LaunchTree(num_workers=4, branching_factor=0)
+        tree = LaunchTree(num_workers=4, branching_factor=2)
+        with pytest.raises(ValueError):
+            tree.parent(10)
+        with pytest.raises(ValueError):
+            tree.rank_of(0, 5)
+        with pytest.raises(ValueError):
+            tree.rank_of(None, 1)
+
+
+class TestLaunchWorkerTree:
+    def _platform(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="worker", memory_mb=1024))
+        return cloud.faas
+
+    def test_launches_requested_number_of_workers(self, cloud):
+        platform = self._platform(cloud)
+        result = launch_worker_tree(platform, "worker", 9, 3, VirtualClock())
+        assert len(result.invocations) == 9
+        assert result.completed_at >= result.root_started_at
+
+    def test_children_start_after_parents(self, cloud):
+        platform = self._platform(cloud)
+        result = launch_worker_tree(platform, "worker", 10, 2, VirtualClock())
+        for worker in range(1, 10):
+            parent = result.tree.parent(worker)
+            assert result.invocations[worker].started_at > result.invocations[parent].started_at
+
+    def test_hierarchical_faster_than_sequential_for_many_workers(self, cloud):
+        """The tree launch finishes sooner than a single-loop central launch (P=62)."""
+        platform = self._platform(cloud)
+        tree_result = launch_worker_tree(platform, "worker", 62, 4, VirtualClock())
+
+        sequential_clock = VirtualClock()
+        sequential_starts = [
+            platform.start_invocation("worker", invoker_clock=sequential_clock, force_cold=True).started_at
+            for _ in range(62)
+        ]
+        assert tree_result.completed_at < max(sequential_starts)
+
+    def test_launch_span_nonnegative(self, cloud):
+        platform = self._platform(cloud)
+        result = launch_worker_tree(platform, "worker", 1, 4, VirtualClock())
+        assert result.launch_span_seconds == pytest.approx(0.0)

@@ -1,0 +1,189 @@
+"""Tests for the analytical cost model, estimator, validator and recommendations."""
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    FSDInference,
+    HypergraphPartitioner,
+    Variant,
+    WorkloadCostEstimator,
+    WorkloadEstimate,
+    WorkloadProfile,
+    estimate_from_metrics,
+    recommend_variant,
+    validate_cost_model,
+)
+from repro.cloud import PriceBook
+from repro.costmodel import (
+    LambdaUsage,
+    ObjectCommUsage,
+    QueueCommUsage,
+    lambda_cost,
+    object_comm_cost,
+    object_total_cost,
+    queue_comm_cost,
+    queue_total_cost,
+    serial_total_cost,
+)
+
+
+class TestCostEquations:
+    def test_lambda_cost_equation4(self):
+        prices = PriceBook()
+        usage = LambdaUsage(workers=10, mean_runtime_seconds=60.0, memory_mb=2048)
+        expected = 10 * prices.faas_price_per_invocation + 10 * 60 * 2 * prices.faas_price_per_gb_second
+        assert lambda_cost(usage, prices) == pytest.approx(expected)
+
+    def test_lambda_cost_with_coordinator(self):
+        prices = PriceBook()
+        base = LambdaUsage(workers=4, mean_runtime_seconds=10, memory_mb=1024)
+        with_coord = LambdaUsage(
+            workers=4, mean_runtime_seconds=10, memory_mb=1024, extra_invocations=1, extra_gb_seconds=0.5
+        )
+        assert lambda_cost(with_coord, prices) > lambda_cost(base, prices)
+
+    def test_queue_comm_cost_equation5_6(self):
+        prices = PriceBook()
+        usage = QueueCommUsage(billed_publish_requests=100, delivered_bytes=10 ** 6, queue_api_requests=50)
+        expected = (
+            100 * prices.pubsub_price_per_publish
+            + 10 ** 6 * prices.pubsub_price_per_byte_delivered
+            + 50 * prices.queue_price_per_request
+        )
+        assert queue_comm_cost(usage, prices) == pytest.approx(expected)
+
+    def test_object_comm_cost_equation7(self):
+        prices = PriceBook()
+        usage = ObjectCommUsage(put_requests=10, get_requests=20, list_requests=30)
+        expected = (
+            10 * prices.object_price_per_put
+            + 20 * prices.object_price_per_get
+            + 30 * prices.object_price_per_list
+        )
+        assert object_comm_cost(usage, prices) == pytest.approx(expected)
+
+    def test_total_costs_compose(self):
+        compute = LambdaUsage(workers=2, mean_runtime_seconds=5, memory_mb=1024)
+        queue = QueueCommUsage(10, 1000, 5)
+        obj = ObjectCommUsage(5, 5, 5)
+        assert serial_total_cost(compute).communication == 0.0
+        assert queue_total_cost(compute, queue).total == pytest.approx(
+            lambda_cost(compute) + queue_comm_cost(queue)
+        )
+        assert object_total_cost(compute, obj).total == pytest.approx(
+            lambda_cost(compute) + object_comm_cost(obj)
+        )
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ValueError):
+            LambdaUsage(workers=-1, mean_runtime_seconds=1, memory_mb=128)
+        with pytest.raises(ValueError):
+            QueueCommUsage(-1, 0, 0)
+        with pytest.raises(ValueError):
+            ObjectCommUsage(-1, 0, 0)
+
+
+class TestCostModelValidation:
+    """Section VI-F: predictions from metrics must match the billed ledger."""
+
+    @pytest.mark.parametrize("variant", [Variant.QUEUE, Variant.OBJECT, Variant.SERIAL])
+    def test_prediction_matches_actual_within_tolerance(
+        self, cloud, small_model, small_batch, variant
+    ):
+        workers = 1 if variant is Variant.SERIAL else 4
+        config = EngineConfig(variant=variant, workers=workers, worker_memory_mb=1024)
+        engine = FSDInference(cloud, config)
+        result = engine.infer(small_model, small_batch)
+        memory = config.serial_memory_mb if variant is Variant.SERIAL else 1024
+        report = validate_cost_model(result, worker_memory_mb=memory)
+        # The paper reports cent-exact agreement; the estimator reconstructs
+        # billing increments from aggregate metrics, so allow a few percent.
+        assert report.total_error < 0.10
+        assert report.compute_error < 0.10
+        assert report.summary()["actual_total"] == pytest.approx(result.cost.total)
+
+    def test_estimate_from_metrics_components_positive(self, cloud, small_model, small_batch):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=4, worker_memory_mb=1024))
+        result = engine.infer(small_model, small_batch)
+        breakdown = estimate_from_metrics(result.metrics, worker_memory_mb=1024)
+        assert breakdown.compute > 0
+        assert breakdown.communication > 0
+        assert breakdown.total == pytest.approx(breakdown.compute + breakdown.communication)
+
+
+class TestWorkloadEstimator:
+    def test_queue_cheaper_than_object_for_high_parallelism_small_volume(self):
+        """Section IV-C: queue costs grow more slowly with P for a given volume."""
+        estimator = WorkloadCostEstimator()
+        common = dict(
+            workers=62, layers=120, expected_runtime_seconds=120.0, worker_memory_mb=2000,
+            comm_bytes=50 * 1024 * 1024, transfers=62 * 120 * 5,
+        )
+        queue = estimator.estimate(WorkloadEstimate(variant=Variant.QUEUE, **common))
+        objekt = estimator.estimate(WorkloadEstimate(variant=Variant.OBJECT, **common))
+        assert queue.communication < objekt.communication
+
+    def test_object_cost_grows_linearly_with_workers(self):
+        estimator = WorkloadCostEstimator()
+
+        def estimate(workers):
+            return estimator.estimate(
+                WorkloadEstimate(
+                    variant=Variant.OBJECT, workers=workers, layers=24,
+                    expected_runtime_seconds=60, worker_memory_mb=2000,
+                    comm_bytes=10 ** 7, transfers=workers * 24 * 4,
+                )
+            ).communication
+
+        small, large = estimate(8), estimate(32)
+        assert large == pytest.approx(4 * small, rel=0.3)
+
+    def test_serial_estimate_has_no_communication(self):
+        estimator = WorkloadCostEstimator()
+        estimate = estimator.estimate(
+            WorkloadEstimate(
+                variant=Variant.SERIAL, workers=1, layers=120,
+                expected_runtime_seconds=30, worker_memory_mb=10240,
+            )
+        )
+        assert estimate.communication == 0.0
+
+    def test_daily_cost_scales_with_query_volume(self):
+        estimator = WorkloadCostEstimator()
+        workload = WorkloadEstimate(
+            variant=Variant.QUEUE, workers=8, layers=24, expected_runtime_seconds=20,
+            worker_memory_mb=1000, comm_bytes=10 ** 6, transfers=200,
+        )
+        assert estimator.daily_cost(workload, 100) == pytest.approx(
+            100 * estimator.estimate(workload).total
+        )
+        with pytest.raises(ValueError):
+            estimator.daily_cost(workload, -1)
+
+
+class TestRecommendations:
+    def test_small_model_recommends_serial(self):
+        profile = WorkloadProfile(model_bytes=10 ** 9, workers=8, per_target_layer_bytes=10 ** 5)
+        assert recommend_variant(profile).variant is Variant.SERIAL
+
+    def test_medium_model_recommends_queue(self):
+        profile = WorkloadProfile(model_bytes=20 * 10 ** 9, workers=20, per_target_layer_bytes=10 ** 6)
+        assert recommend_variant(profile).variant is Variant.QUEUE
+
+    def test_huge_payloads_recommend_object(self):
+        profile = WorkloadProfile(
+            model_bytes=200 * 10 ** 9, workers=62, per_target_layer_bytes=10 ** 8
+        )
+        assert recommend_variant(profile).variant is Variant.OBJECT
+
+    def test_reasons_are_informative(self):
+        profile = WorkloadProfile(model_bytes=10 ** 9, workers=4, per_target_layer_bytes=10 ** 4)
+        recommendation = recommend_variant(profile)
+        assert "single" in recommendation.reason.lower()
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(model_bytes=-1, workers=4, per_target_layer_bytes=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(model_bytes=1, workers=0, per_target_layer_bytes=0)

@@ -1,0 +1,235 @@
+"""End-to-end tests of the FSD-Inference engine (all variants)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CloudEnvironment,
+    EngineConfig,
+    FSDInference,
+    FunctionTimeoutError,
+    GraphChallengeConfig,
+    HypergraphPartitioner,
+    LatencyModel,
+    OutOfMemoryError,
+    RandomPartitioner,
+    Variant,
+    build_graph_challenge_model,
+    generate_input_batch,
+)
+from repro.cloud import SERVICE_FAAS, SERVICE_OBJECT, SERVICE_PUBSUB, SERVICE_QUEUE
+
+
+class TestEngineConfig:
+    def test_serial_variant_requires_one_worker(self):
+        with pytest.raises(ValueError):
+            EngineConfig(variant=Variant.SERIAL, workers=4)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+        with pytest.raises(ValueError):
+            EngineConfig(worker_memory_mb=64)
+        with pytest.raises(ValueError):
+            EngineConfig(branching_factor=0)
+        with pytest.raises(ValueError):
+            EngineConfig(io_threads=0)
+        with pytest.raises(ValueError):
+            EngineConfig(memory_headroom=0.5)
+
+    def test_resolve_worker_memory_prefers_explicit(self):
+        config = EngineConfig(worker_memory_mb=3000)
+        assert config.resolve_worker_memory(10 ** 9, neurons=1024) == 3000
+
+    def test_resolve_worker_memory_uses_paper_values(self):
+        config = EngineConfig()
+        assert config.resolve_worker_memory(10 ** 6, neurons=16384) == 2000
+
+    def test_resolve_worker_memory_scales_with_partition(self):
+        config = EngineConfig()
+        small = config.resolve_worker_memory(50 * 1024 * 1024, neurons=777)
+        large = config.resolve_worker_memory(500 * 1024 * 1024, neurons=777)
+        assert small < large
+
+    def test_variant_distributed_flag(self):
+        assert not Variant.SERIAL.is_distributed
+        assert Variant.QUEUE.is_distributed
+        assert Variant.OBJECT.is_distributed
+
+
+class TestCorrectness:
+    """Every variant must reproduce the single-process ground truth exactly."""
+
+    @pytest.mark.parametrize("variant", [Variant.QUEUE, Variant.OBJECT])
+    @pytest.mark.parametrize("workers", [2, 4, 7])
+    def test_distributed_matches_ground_truth(self, cloud, small_model, small_batch, small_expected, variant, workers):
+        engine = FSDInference(cloud, EngineConfig(variant=variant, workers=workers))
+        plan = engine.partition(small_model, HypergraphPartitioner(seed=1))
+        result = engine.infer(small_model, small_batch, plan)
+        assert result.matches(small_expected)
+        assert result.output.shape == small_expected.shape
+
+    def test_serial_matches_ground_truth(self, cloud, small_model, small_batch, small_expected):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.SERIAL, workers=1))
+        result = engine.infer(small_model, small_batch)
+        assert result.matches(small_expected)
+
+    def test_random_partitioning_also_correct(self, cloud, small_model, small_batch, small_expected):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=3))
+        plan = engine.partition(small_model, RandomPartitioner(seed=2))
+        result = engine.infer(small_model, small_batch, plan)
+        assert result.matches(small_expected)
+
+    def test_single_sample_mvp_path(self, cloud, small_model):
+        batch = generate_input_batch(small_model.num_neurons, samples=1, seed=9)
+        expected = small_model.forward(batch)
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.OBJECT, workers=3))
+        result = engine.infer(small_model, batch)
+        assert result.matches(expected)
+
+    def test_predictions_match_model(self, cloud, small_model, small_batch):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=2))
+        result = engine.infer(small_model, small_batch)
+        np.testing.assert_array_equal(
+            result.predictions(), small_model.predict_categories(small_batch)
+        )
+
+    def test_batch_shape_mismatch_rejected(self, cloud, small_model):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.SERIAL, workers=1))
+        wrong = generate_input_batch(small_model.num_neurons * 2, samples=4)
+        with pytest.raises(ValueError):
+            engine.infer(small_model, wrong)
+
+    def test_plan_worker_mismatch_rejected(self, cloud, small_model, small_batch, small_plan):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=8))
+        with pytest.raises(ValueError):
+            engine.infer(small_model, small_batch, small_plan)  # plan built for 4
+
+
+class TestAccounting:
+    def test_queue_run_bills_pubsub_and_queue_but_not_channel_objects(self, cloud, small_model, small_batch, small_plan):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=4))
+        result = engine.infer(small_model, small_batch, small_plan)
+        assert result.cost.by_service.get(SERVICE_PUBSUB, 0.0) > 0
+        assert result.cost.by_service.get(SERVICE_QUEUE, 0.0) > 0
+        assert result.cost.by_service.get(SERVICE_FAAS, 0.0) > 0
+
+    def test_object_run_bills_object_storage_requests(self, cloud, small_model, small_batch, small_plan):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.OBJECT, workers=4))
+        result = engine.infer(small_model, small_batch, small_plan)
+        assert result.cost.by_service.get(SERVICE_OBJECT, 0.0) > 0
+        assert SERVICE_PUBSUB not in result.cost.by_service
+
+    def test_serial_run_has_no_ipc_charges(self, cloud, small_model, small_batch):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.SERIAL, workers=1))
+        result = engine.infer(small_model, small_batch)
+        assert SERVICE_PUBSUB not in result.cost.by_service
+        assert SERVICE_QUEUE not in result.cost.by_service
+        # Only the model/input loading GETs hit object storage.
+        assert result.cost.by_service.get(SERVICE_OBJECT, 0.0) > 0
+
+    def test_cost_scoped_to_single_run(self, cloud, small_model, small_batch, small_plan):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=4))
+        first = engine.infer(small_model, small_batch, small_plan)
+        second = engine.infer(small_model, small_batch, small_plan)
+        total = cloud.cost_report().total
+        assert first.cost.total + second.cost.total <= total + 1e-12
+        # A single run's report must not include the other run's charges.
+        assert first.cost.total < total
+
+    def test_latency_and_per_sample_metrics(self, cloud, small_model, small_batch, small_plan):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=4))
+        result = engine.infer(small_model, small_batch, small_plan)
+        assert result.latency_seconds > 0
+        assert result.per_sample_seconds == pytest.approx(result.latency_seconds / small_batch.shape[1])
+        assert result.per_sample_ms == pytest.approx(result.per_sample_seconds * 1000)
+        assert result.per_sample_cost == pytest.approx(result.cost.total / small_batch.shape[1])
+
+    def test_metrics_capture_per_layer_and_per_worker(self, cloud, small_model, small_batch, small_plan):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=4))
+        result = engine.infer(small_model, small_batch, small_plan)
+        metrics = result.metrics
+        assert len(metrics.per_layer) == small_model.num_layers
+        assert len(metrics.per_worker) == 4
+        assert metrics.total_bytes_sent > 0
+        assert metrics.total_publish_calls > 0
+        assert metrics.max_worker_runtime_seconds >= metrics.mean_worker_runtime_seconds
+        assert metrics.launch_seconds >= 0
+        summary = metrics.batch_summary()
+        assert summary["num_workers"] == 4
+        table = metrics.per_layer_table()
+        assert len(table) == small_model.num_layers
+
+    def test_launch_result_attached_for_distributed_runs(self, cloud, small_model, small_batch, small_plan):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.OBJECT, workers=4))
+        result = engine.infer(small_model, small_batch, small_plan)
+        assert result.launch is not None
+        assert len(result.launch.invocations) == 4
+
+
+class TestResourceLimits:
+    """The paper's memory story: the big model only runs when partitioned.
+
+    Real Lambda deployments carry a fixed runtime footprint (Python plus the
+    numeric libraries); modelling it via ``memory_overhead_mb`` lets these
+    tests reproduce the paper's out-of-memory behaviour at test-sized models.
+    """
+
+    def test_serial_out_of_memory_for_oversized_model(self, cloud):
+        config = GraphChallengeConfig(neurons=2048, layers=8, nnz_per_row=96, num_communities=16, seed=3)
+        model = build_graph_challenge_model(config)
+        batch = generate_input_batch(2048, samples=8, seed=1)
+        engine = FSDInference(
+            cloud,
+            EngineConfig(
+                variant=Variant.SERIAL, workers=1, serial_memory_mb=128, memory_overhead_mb=124
+            ),
+        )
+        with pytest.raises(OutOfMemoryError):
+            engine.infer(model, batch)
+
+    def test_distributed_fits_where_serial_cannot(self, cloud):
+        """Partitioning lets workers with the same per-instance memory run the model."""
+        config = GraphChallengeConfig(neurons=2048, layers=8, nnz_per_row=96, num_communities=16, seed=3)
+        model = build_graph_challenge_model(config)
+        batch = generate_input_batch(2048, samples=8, seed=1)
+        expected = model.forward(batch)
+        engine = FSDInference(
+            cloud,
+            EngineConfig(
+                variant=Variant.QUEUE, workers=8, worker_memory_mb=128, memory_overhead_mb=124
+            ),
+        )
+        result = engine.infer(model, batch)
+        assert result.matches(expected)
+
+    def test_timeout_surfaces_as_function_timeout(self, small_model, small_batch):
+        slow = LatencyModel(queue_receive_rtt_seconds=30.0, pubsub_fanout_delivery_seconds=30.0)
+        cloud = CloudEnvironment(latency=slow)
+        engine = FSDInference(
+            cloud,
+            EngineConfig(variant=Variant.QUEUE, workers=4, timeout_seconds=20.0),
+        )
+        with pytest.raises(FunctionTimeoutError):
+            engine.infer(small_model, small_batch)
+
+
+class TestStagingCache:
+    def test_staging_is_offline_and_not_billed(self, cloud, small_model, small_batch, small_plan):
+        """Model/partition staging is an offline step: no PUTs are billed to a run."""
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=4))
+        result = engine.infer(small_model, small_batch, small_plan)
+        bucket = cloud.object_storage.get_bucket("fsd-data")
+        assert bucket.total_put_requests == 0
+        assert bucket.object_count == small_plan.num_workers * (small_plan.num_layers + 1)
+        assert "object_storage:put" not in result.cost.by_operation
+
+    def test_repeated_runs_reuse_staged_partitions(self, cloud, small_model, small_batch, small_plan):
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.QUEUE, workers=4))
+        first = engine.infer(small_model, small_batch, small_plan)
+        second = engine.infer(small_model, small_batch, small_plan)
+        bucket = cloud.object_storage.get_bucket("fsd-data")
+        # Object count is unchanged: the second run overwrote the input blocks
+        # and reused the staged weight partitions.
+        assert bucket.object_count == small_plan.num_workers * (small_plan.num_layers + 1)
+        assert second.matches(first.output)

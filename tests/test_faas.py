@@ -1,0 +1,173 @@
+"""Tests for the simulated FaaS platform (Lambda analogue)."""
+
+import pytest
+
+from repro.cloud import (
+    ConcurrencyLimitError,
+    FunctionConfig,
+    FunctionTimeoutError,
+    InvalidRequestError,
+    OutOfMemoryError,
+    ResourceAlreadyExistsError,
+    ResourceNotFoundError,
+    VirtualClock,
+)
+from repro.cloud.billing import SERVICE_FAAS
+from repro.cloud.faas import MAX_MEMORY_MB, MEMORY_MB_PER_VCPU, MIN_MEMORY_MB
+
+
+class TestFunctionConfig:
+    def test_vcpu_proportional_to_memory(self):
+        config = FunctionConfig(name="f", memory_mb=int(MEMORY_MB_PER_VCPU))
+        assert config.vcpus == pytest.approx(1.0, rel=1e-3)
+        assert FunctionConfig(name="f", memory_mb=MAX_MEMORY_MB).vcpus > 5.5
+
+    def test_memory_bounds_enforced(self):
+        with pytest.raises(InvalidRequestError):
+            FunctionConfig(name="f", memory_mb=MIN_MEMORY_MB - 1)
+        with pytest.raises(InvalidRequestError):
+            FunctionConfig(name="f", memory_mb=MAX_MEMORY_MB + 1)
+
+    def test_timeout_bounds_enforced(self):
+        with pytest.raises(InvalidRequestError):
+            FunctionConfig(name="f", timeout_seconds=0)
+        with pytest.raises(InvalidRequestError):
+            FunctionConfig(name="f", timeout_seconds=16 * 60)
+
+    def test_name_required(self):
+        with pytest.raises(InvalidRequestError):
+            FunctionConfig(name="")
+
+
+class TestControlPlane:
+    def test_create_get_delete(self, cloud):
+        config = FunctionConfig(name="fn", memory_mb=512)
+        cloud.faas.create_function(config)
+        assert cloud.faas.get_function("fn") is config
+        assert "fn" in cloud.faas
+        cloud.faas.delete_function("fn")
+        assert "fn" not in cloud.faas
+
+    def test_duplicate_rejected(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn"))
+        with pytest.raises(ResourceAlreadyExistsError):
+            cloud.faas.create_function(FunctionConfig(name="fn"))
+
+    def test_missing_function_raises(self, cloud):
+        with pytest.raises(ResourceNotFoundError):
+            cloud.faas.get_function("missing")
+        with pytest.raises(ResourceNotFoundError):
+            cloud.faas.start_invocation("missing")
+
+
+class TestInvocationLifecycle:
+    def test_first_invocation_is_cold_then_warm(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=1024))
+        first = cloud.faas.start_invocation("fn", at_time=0.0)
+        assert first.cold
+        first.finish()
+        second = cloud.faas.start_invocation("fn", at_time=100.0)
+        assert not second.cold
+        second.finish()
+
+    def test_cold_start_delays_user_code(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=2048))
+        invocation = cloud.faas.start_invocation("fn", at_time=5.0)
+        assert invocation.started_at > 5.0
+
+    def test_invoker_clock_advanced_by_invoke_api(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn"))
+        invoker = VirtualClock(1.0)
+        cloud.faas.start_invocation("fn", invoker_clock=invoker)
+        assert invoker.now > 1.0
+
+    def test_charge_compute_scales_with_memory(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="small", memory_mb=1024))
+        cloud.faas.create_function(FunctionConfig(name="large", memory_mb=8192))
+        small = cloud.faas.start_invocation("small", at_time=0.0)
+        large = cloud.faas.start_invocation("large", at_time=0.0)
+        assert small.charge_compute(1e9) > large.charge_compute(1e9)
+
+    def test_memory_accounting_raises_oom(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=128))
+        invocation = cloud.faas.start_invocation("fn", at_time=0.0)
+        invocation.account_memory(64 * 1024 * 1024)
+        with pytest.raises(OutOfMemoryError):
+            invocation.account_memory(256 * 1024 * 1024)
+
+    def test_timeout_enforced_on_finish(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=512, timeout_seconds=10))
+        invocation = cloud.faas.start_invocation("fn", at_time=0.0)
+        invocation.charge_duration(30.0)
+        with pytest.raises(FunctionTimeoutError):
+            invocation.finish()
+
+    def test_check_timeout_midway(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=512, timeout_seconds=5))
+        invocation = cloud.faas.start_invocation("fn", at_time=0.0)
+        invocation.charge_duration(1.0)
+        invocation.check_timeout()
+        invocation.charge_duration(10.0)
+        with pytest.raises(FunctionTimeoutError):
+            invocation.check_timeout()
+
+    def test_finish_is_idempotent(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn"))
+        invocation = cloud.faas.start_invocation("fn", at_time=0.0)
+        runtime = invocation.finish()
+        assert invocation.finish() == runtime
+
+    def test_concurrency_limit(self, cloud):
+        limited = type(cloud)(faas_concurrency_limit=2)
+        limited.faas.create_function(FunctionConfig(name="fn"))
+        limited.faas.start_invocation("fn", at_time=0.0)
+        limited.faas.start_invocation("fn", at_time=0.0)
+        with pytest.raises(ConcurrencyLimitError):
+            limited.faas.start_invocation("fn", at_time=0.0)
+
+
+class TestBillingAndHandlers:
+    def test_invocation_and_gb_seconds_billed(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=2048))
+        invocation = cloud.faas.start_invocation("fn", at_time=0.0)
+        invocation.charge_duration(10.0)
+        invocation.finish()
+        operations = {r.operation for r in cloud.ledger.filter(service=SERVICE_FAAS)}
+        assert operations == {"invocation", "gb_seconds"}
+        gb_seconds = cloud.ledger.total_quantity(SERVICE_FAAS, "gb_seconds")
+        assert gb_seconds == pytest.approx((2048 / 1024) * invocation.runtime_seconds)
+
+    def test_invocation_records_capture_run(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=512))
+        invocation = cloud.faas.start_invocation("fn", at_time=0.0)
+        invocation.charge_duration(1.0)
+        invocation.finish()
+        record = cloud.faas.invocation_records[-1]
+        assert record.function_name == "fn"
+        assert record.cold
+        assert record.runtime_seconds == pytest.approx(invocation.runtime_seconds)
+
+    def test_registered_handler_invocation(self, cloud):
+        def handler(invocation, payload):
+            invocation.charge_duration(0.5)
+            return {"echo": payload}
+
+        cloud.faas.create_function(FunctionConfig(name="echo", memory_mb=256), handler)
+        result = cloud.faas.invoke("echo", payload="hi", at_time=0.0)
+        assert result == {"echo": "hi"}
+        assert cloud.faas.warm_environment_count("echo") == 1
+
+    def test_invoke_without_handler_raises(self, cloud):
+        cloud.faas.create_function(FunctionConfig(name="no-handler"))
+        with pytest.raises(ResourceNotFoundError):
+            cloud.faas.invoke("no-handler")
+
+    def test_handler_exception_still_bills_invocation(self, cloud):
+        def handler(invocation, payload):
+            invocation.charge_duration(0.1)
+            raise RuntimeError("boom")
+
+        cloud.faas.create_function(FunctionConfig(name="bad", memory_mb=256), handler)
+        with pytest.raises(RuntimeError):
+            cloud.faas.invoke("bad", at_time=0.0)
+        assert cloud.ledger.filter(service=SERVICE_FAAS, operation="invocation")

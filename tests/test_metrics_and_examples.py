@@ -1,0 +1,83 @@
+"""Tests for the metrics containers and smoke tests for the shipped examples."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import InferenceMetrics, LayerMetrics, WorkerMetrics
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestLayerMetrics:
+    def test_merge_counts_accumulates(self):
+        layer = LayerMetrics(layer=0)
+        layer.merge_counts(bytes_sent=100, publish_calls=2)
+        layer.merge_counts(bytes_sent=50, poll_calls=1)
+        assert layer.bytes_sent == 150
+        assert layer.publish_calls == 2
+        assert layer.poll_calls == 1
+
+
+class TestInferenceMetrics:
+    def _metrics(self):
+        metrics = InferenceMetrics(
+            variant="queue", num_workers=2, num_layers=2, num_neurons=16, batch_size=4
+        )
+        metrics.per_layer.append(
+            LayerMetrics(layer=0, bytes_sent=10, publish_calls=1, poll_calls=2, compute_seconds=0.5)
+        )
+        metrics.per_layer.append(
+            LayerMetrics(layer=1, bytes_sent=20, publish_calls=2, poll_calls=3, compute_seconds=1.5)
+        )
+        metrics.per_worker.append(WorkerMetrics(worker=0, runtime_seconds=3.0))
+        metrics.per_worker.append(WorkerMetrics(worker=1, runtime_seconds=5.0))
+        return metrics
+
+    def test_totals_sum_layers(self):
+        metrics = self._metrics()
+        assert metrics.total_bytes_sent == 30
+        assert metrics.total_publish_calls == 3
+        assert metrics.total_poll_calls == 5
+        assert metrics.total_compute_seconds == pytest.approx(2.0)
+
+    def test_reduce_comm_included_in_totals(self):
+        metrics = self._metrics()
+        metrics.reduce_comm = LayerMetrics(layer=2, bytes_sent=5, publish_calls=1)
+        assert metrics.total_bytes_sent == 35
+        assert metrics.total_publish_calls == 4
+        # but not in the per-layer compute aggregate
+        assert metrics.total_compute_seconds == pytest.approx(2.0)
+
+    def test_worker_runtime_aggregates(self):
+        metrics = self._metrics()
+        assert metrics.mean_worker_runtime_seconds == pytest.approx(4.0)
+        assert metrics.max_worker_runtime_seconds == pytest.approx(5.0)
+
+    def test_empty_metrics_are_zero(self):
+        metrics = InferenceMetrics(
+            variant="serial", num_workers=1, num_layers=0, num_neurons=4, batch_size=1
+        )
+        assert metrics.total_bytes_sent == 0
+        assert metrics.mean_worker_runtime_seconds == 0.0
+        assert metrics.batch_summary()["total_publish_calls"] == 0
+
+    def test_per_layer_table_has_one_row_per_layer(self):
+        metrics = self._metrics()
+        table = metrics.per_layer_table()
+        assert len(table) == 2
+        assert table[0]["layer"] == 0
+        assert table[1]["bytes_sent"] == 20
+
+
+@pytest.mark.parametrize(
+    "example",
+    ["quickstart.py", "partitioning_study.py", "cost_model_walkthrough.py"],
+)
+def test_examples_run_end_to_end(example, capsys):
+    """The shipped examples execute without errors and produce output."""
+    runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip()

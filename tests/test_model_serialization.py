@@ -1,0 +1,143 @@
+"""Tests for the SparseDNN model and its object-store serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.cloud import VirtualClock
+from repro.model import (
+    SparseDNN,
+    deserialize_csr,
+    load_layer_rows,
+    model_key,
+    serialize_csr,
+    store_model,
+)
+from repro.workloads import GraphChallengeConfig, build_graph_challenge_model, generate_input_batch
+
+
+def tiny_model(layers=3, neurons=32, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = [
+        sparse.random(neurons, neurons, density=0.1, format="csr", random_state=rng, dtype=np.float32)
+        for _ in range(layers)
+    ]
+    return SparseDNN(weights=weights, biases=[-0.1] * layers, name="tiny")
+
+
+class TestSparseDNN:
+    def test_structure_properties(self):
+        model = tiny_model()
+        assert model.num_layers == 3
+        assert model.num_neurons == 32
+        assert model.total_nnz == sum(w.nnz for w in model.weights)
+        assert model.nbytes() > 0
+        stats = model.layer_stats()
+        assert len(stats) == 3
+        assert stats[0].shape == (32, 32)
+
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            SparseDNN(weights=[], biases=[])
+
+    def test_bias_count_must_match_layers(self):
+        weights = [sparse.eye(4, format="csr")]
+        with pytest.raises(ValueError):
+            SparseDNN(weights=weights, biases=[0.1, 0.2])
+
+    def test_rejects_non_uniform_width(self):
+        weights = [sparse.eye(4, format="csr"), sparse.eye(5, format="csr")]
+        with pytest.raises(ValueError):
+            SparseDNN(weights=weights, biases=[0.0, 0.0])
+
+    def test_forward_shape_and_mismatch(self):
+        model = tiny_model()
+        batch = generate_input_batch(32, samples=5, seed=1)
+        output = model.forward(batch)
+        assert output.shape == (32, 5)
+        bad_batch = generate_input_batch(16, samples=5, seed=1)
+        with pytest.raises(ValueError):
+            model.forward(bad_batch)
+
+    def test_forward_values_bounded_by_activation_cap(self):
+        config = GraphChallengeConfig(neurons=128, layers=3, nnz_per_row=8, num_communities=8)
+        model = build_graph_challenge_model(config)
+        batch = generate_input_batch(128, samples=8, seed=2)
+        output = model.forward(batch)
+        if output.nnz:
+            assert output.data.max() <= config.activation_cap
+            assert output.data.min() > 0.0
+
+    def test_forward_return_all_layers(self):
+        model = tiny_model()
+        batch = generate_input_batch(32, samples=4, seed=3)
+        per_layer = model.forward(batch, return_all_layers=True)
+        assert len(per_layer) == model.num_layers
+        final = model.forward(batch)
+        assert (per_layer[-1] != final).nnz == 0
+
+    def test_predict_categories_shape(self):
+        model = tiny_model()
+        batch = generate_input_batch(32, samples=6, seed=4)
+        categories = model.predict_categories(batch)
+        assert categories.shape == (6,)
+        assert categories.dtype.kind in "iu"
+
+
+class TestSerialization:
+    def test_round_trip_compressed_and_raw(self):
+        matrix = sparse.random(20, 30, density=0.2, format="csr", dtype=np.float32)
+        for compress in (True, False):
+            payload = serialize_csr(matrix, compress=compress)
+            restored = deserialize_csr(payload)
+            assert restored.shape == matrix.shape
+            assert (restored != matrix).nnz == 0
+
+    def test_compression_reduces_size_for_structured_data(self):
+        matrix = sparse.csr_matrix(np.ones((100, 100), dtype=np.float32))
+        assert len(serialize_csr(matrix, compress=True)) < len(serialize_csr(matrix, compress=False))
+
+    def test_invalid_payloads_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_csr(b"")
+        with pytest.raises(ValueError):
+            deserialize_csr(b"Xgarbage")
+        with pytest.raises(ValueError):
+            deserialize_csr(b"R" + b"not-a-matrix-at-all-padding-padding")
+
+    def test_model_key_layout(self):
+        assert model_key("m", 3) == "models/m/layer-0003/full.csr"
+        assert model_key("m", 3, part="w1") == "models/m/layer-0003/w1.csr"
+
+    def test_store_and_load_model(self, cloud):
+        model = tiny_model()
+        bucket = cloud.object_storage.create_bucket("models")
+        clock = VirtualClock()
+        objects, total_bytes = store_model(model, bucket, clock)
+        assert objects == model.num_layers
+        assert total_bytes > 0
+        reader = VirtualClock(clock.now)
+        layer0 = load_layer_rows(bucket, "tiny", 0, reader)
+        assert (layer0 != model.weights[0]).nnz == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=40),
+    st.floats(min_value=0.0, max_value=0.6),
+    st.integers(min_value=0, max_value=500),
+    st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_serialize_deserialize_is_lossless(rows, cols, density, seed, compress):
+    """Property: CSR serialisation round-trips exactly for arbitrary shapes."""
+    rng = np.random.default_rng(seed)
+    matrix = sparse.random(rows, cols, density=density, format="csr", random_state=rng, dtype=np.float32)
+    restored = deserialize_csr(serialize_csr(matrix, compress=compress))
+    assert restored.shape == matrix.shape
+    assert restored.nnz == matrix.nnz
+    if matrix.nnz:
+        np.testing.assert_array_equal(restored.indices, matrix.indices)
+        np.testing.assert_allclose(restored.data, matrix.data, rtol=1e-6)

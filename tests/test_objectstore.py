@@ -1,0 +1,138 @@
+"""Tests for the simulated object storage service (S3 analogue)."""
+
+import pytest
+
+from repro.cloud import (
+    InvalidRequestError,
+    ResourceAlreadyExistsError,
+    ResourceNotFoundError,
+    VirtualClock,
+)
+from repro.cloud.billing import SERVICE_OBJECT
+
+
+@pytest.fixture
+def bucket(cloud):
+    return cloud.object_storage.create_bucket("test-bucket")
+
+
+class TestBucketRegistry:
+    def test_create_get_delete(self, cloud):
+        bucket = cloud.object_storage.create_bucket("b")
+        assert cloud.object_storage.get_bucket("b") is bucket
+        cloud.object_storage.delete_bucket("b")
+        assert "b" not in cloud.object_storage
+
+    def test_duplicate_rejected(self, cloud):
+        cloud.object_storage.create_bucket("b")
+        with pytest.raises(ResourceAlreadyExistsError):
+            cloud.object_storage.create_bucket("b")
+
+    def test_missing_bucket_raises(self, cloud):
+        with pytest.raises(ResourceNotFoundError):
+            cloud.object_storage.get_bucket("missing")
+
+    def test_get_or_create(self, cloud):
+        first = cloud.object_storage.get_or_create_bucket("b")
+        second = cloud.object_storage.get_or_create_bucket("b")
+        assert first is second
+
+
+class TestPutGetList:
+    def test_round_trip(self, bucket):
+        writer, reader = VirtualClock(), VirtualClock()
+        bucket.put_object("k/data.dat", b"payload", writer)
+        reader.advance_to(writer.now)
+        assert bucket.get_object("k/data.dat", reader) == b"payload"
+
+    def test_empty_key_rejected(self, bucket):
+        with pytest.raises(InvalidRequestError):
+            bucket.put_object("", b"x", VirtualClock())
+
+    def test_missing_object_raises_but_is_billed(self, cloud, bucket):
+        reader = VirtualClock()
+        with pytest.raises(ResourceNotFoundError):
+            bucket.get_object("missing", reader)
+        gets = cloud.ledger.filter(service=SERVICE_OBJECT, operation="get")
+        assert len(gets) == 1
+
+    def test_object_not_visible_before_put_completed(self, bucket):
+        writer = VirtualClock()
+        bucket.put_object("late", b"z", writer)
+        early_reader = VirtualClock(0.0)
+        with pytest.raises(ResourceNotFoundError):
+            bucket.get_object("late", early_reader)
+
+    def test_list_filters_by_prefix_and_visibility(self, bucket):
+        writer = VirtualClock()
+        bucket.put_object("1/0/0_0.dat", b"a", writer)
+        bucket.put_object("1/0/1_0.nul", b"", writer)
+        bucket.put_object("2/0/0_0.dat", b"b", writer)
+        reader = VirtualClock(writer.now)
+        handles = bucket.list_objects("1/0/", reader)
+        assert [h.key for h in handles] == ["1/0/0_0.dat", "1/0/1_0.nul"]
+        early = VirtualClock(0.0)
+        assert bucket.list_objects("1/0/", early) == []
+
+    def test_overwrite_replaces_content(self, bucket):
+        clock = VirtualClock()
+        bucket.put_object("k", b"v1", clock)
+        bucket.put_object("k", b"v2", clock)
+        assert bucket.get_object("k", clock) == b"v2"
+        assert bucket.object_count == 1
+
+    def test_delete_object_and_prefix(self, bucket):
+        clock = VirtualClock()
+        bucket.put_object("a/1", b"x", clock)
+        bucket.put_object("a/2", b"y", clock)
+        bucket.put_object("b/1", b"z", clock)
+        bucket.delete_object("a/1", clock)
+        assert not bucket.object_exists("a/1")
+        removed = bucket.delete_prefix("a/")
+        assert removed == 1
+        assert bucket.object_count == 1
+
+    def test_object_size_helpers(self, bucket):
+        clock = VirtualClock()
+        bucket.put_object("k", b"12345", clock)
+        assert bucket.object_size("k") == 5
+        assert bucket.total_stored_bytes == 5
+        with pytest.raises(ResourceNotFoundError):
+            bucket.object_size("missing")
+
+
+class TestObjectBilling:
+    def test_put_get_list_each_billed_per_request(self, cloud, bucket):
+        clock = VirtualClock()
+        bucket.put_object("k", b"data", clock)
+        bucket.get_object("k", clock)
+        bucket.list_objects("", clock)
+        report = cloud.ledger.report()
+        operations = {r.operation for r in cloud.ledger.filter(service=SERVICE_OBJECT)}
+        assert operations == {"put", "get", "list"}
+        assert report.by_service[SERVICE_OBJECT] > 0
+
+    def test_request_cost_independent_of_size(self, cloud):
+        bucket = cloud.object_storage.create_bucket("b2")
+        clock = VirtualClock()
+        bucket.put_object("small", b"x", clock)
+        bucket.put_object("large", b"x" * 10_000_000, clock)
+        puts = cloud.ledger.filter(service=SERVICE_OBJECT, operation="put")
+        assert puts[0].cost == pytest.approx(puts[1].cost)
+
+    def test_large_put_takes_longer_than_small(self, bucket):
+        small_clock, large_clock = VirtualClock(), VirtualClock()
+        bucket.put_object("small", b"x", small_clock)
+        bucket.put_object("large", b"x" * 50_000_000, large_clock)
+        assert large_clock.now > small_clock.now
+
+    def test_counters(self, bucket):
+        clock = VirtualClock()
+        bucket.put_object("k", b"abc", clock)
+        bucket.get_object("k", clock)
+        bucket.list_objects("", clock)
+        assert bucket.total_put_requests == 1
+        assert bucket.total_get_requests == 1
+        assert bucket.total_list_requests == 1
+        assert bucket.total_bytes_written == 3
+        assert bucket.total_bytes_read == 3

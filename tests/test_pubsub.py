@@ -1,0 +1,149 @@
+"""Tests for the simulated pub/sub service (SNS analogue)."""
+
+import pytest
+
+from repro.cloud import (
+    BatchTooLargeError,
+    FilterPolicy,
+    InvalidRequestError,
+    PayloadTooLargeError,
+    ResourceAlreadyExistsError,
+    ResourceNotFoundError,
+    VirtualClock,
+)
+from repro.cloud.billing import SERVICE_PUBSUB
+from repro.cloud.pubsub import MAX_PUBLISH_BATCH, MAX_PUBLISH_BYTES
+from repro.cloud.queues import QueueMessage
+
+
+@pytest.fixture
+def topic_and_queues(cloud):
+    topic = cloud.pubsub.create_topic("t0")
+    queues = [cloud.queues.create_queue(f"q{i}") for i in range(3)]
+    for worker, queue in enumerate(queues):
+        topic.subscribe(queue, FilterPolicy(conditions={"target": [worker]}))
+    return topic, queues
+
+
+class TestFilterPolicy:
+    def test_matching_attribute(self):
+        policy = FilterPolicy(conditions={"target": [1, 2]})
+        assert policy.matches({"target": 1})
+        assert policy.matches({"target": 2, "layer": 0})
+
+    def test_missing_attribute_fails(self):
+        policy = FilterPolicy(conditions={"target": [1]})
+        assert not policy.matches({"layer": 3})
+
+    def test_wrong_value_fails(self):
+        policy = FilterPolicy(conditions={"target": [1]})
+        assert not policy.matches({"target": 2})
+
+    def test_multiple_conditions_all_required(self):
+        policy = FilterPolicy(conditions={"target": [1], "layer": [0]})
+        assert policy.matches({"target": 1, "layer": 0})
+        assert not policy.matches({"target": 1, "layer": 5})
+
+
+class TestTopicRegistry:
+    def test_create_get_delete(self, cloud):
+        topic = cloud.pubsub.create_topic("a")
+        assert cloud.pubsub.get_topic("a") is topic
+        assert "a" in cloud.pubsub
+        cloud.pubsub.delete_topic("a")
+        assert "a" not in cloud.pubsub
+
+    def test_duplicate_rejected(self, cloud):
+        cloud.pubsub.create_topic("a")
+        with pytest.raises(ResourceAlreadyExistsError):
+            cloud.pubsub.create_topic("a")
+
+    def test_missing_topic_raises(self, cloud):
+        with pytest.raises(ResourceNotFoundError):
+            cloud.pubsub.get_topic("missing")
+
+
+class TestPublishFanOut:
+    def test_filtered_delivery_reaches_only_target_queue(self, topic_and_queues):
+        topic, queues = topic_and_queues
+        publisher = VirtualClock()
+        deliveries = topic.publish(
+            QueueMessage(body=b"for-worker-1", attributes={"target": 1}), publisher
+        )
+        assert deliveries == 1
+        consumer = VirtualClock(publisher.now)
+        assert queues[0].receive(consumer, wait_seconds=1.0) == []
+        received = queues[1].receive(consumer, wait_seconds=5.0)
+        assert len(received) == 1
+        assert received[0].body == b"for-worker-1"
+
+    def test_delivery_carries_fanout_latency(self, topic_and_queues):
+        topic, queues = topic_and_queues
+        publisher = VirtualClock()
+        topic.publish(QueueMessage(body=b"x", attributes={"target": 0}), publisher)
+        publish_done = publisher.now
+        consumer = VirtualClock(publish_done)
+        queues[0].receive(consumer, wait_seconds=5.0)
+        assert consumer.now > publish_done
+
+    def test_batch_limits_enforced(self, topic_and_queues):
+        topic, _ = topic_and_queues
+        clock = VirtualClock()
+        too_many = [QueueMessage(body=b"m", attributes={"target": 0})] * (MAX_PUBLISH_BATCH + 1)
+        with pytest.raises(BatchTooLargeError):
+            topic.publish_batch(too_many, clock)
+        too_big = [
+            QueueMessage(body=b"x" * (MAX_PUBLISH_BYTES // 2 + 1), attributes={"target": 0}),
+            QueueMessage(body=b"x" * (MAX_PUBLISH_BYTES // 2 + 1), attributes={"target": 0}),
+        ]
+        with pytest.raises(PayloadTooLargeError):
+            topic.publish_batch(too_big, clock)
+        with pytest.raises(InvalidRequestError):
+            topic.publish_batch([], clock)
+
+    def test_unfiltered_subscription_receives_everything(self, cloud):
+        topic = cloud.pubsub.create_topic("all")
+        queue = cloud.queues.create_queue("sink")
+        topic.subscribe(queue)
+        clock = VirtualClock()
+        topic.publish(QueueMessage(body=b"a", attributes={"target": 99}), clock)
+        consumer = VirtualClock(clock.now)
+        assert len(queue.receive(consumer, wait_seconds=5.0)) == 1
+
+
+class TestPublishBilling:
+    def test_publish_billed_in_64kb_increments(self, topic_and_queues, cloud):
+        topic, _ = topic_and_queues
+        clock = VirtualClock()
+        payload = b"x" * (130 * 1024)  # needs 3 increments
+        topic.publish(QueueMessage(body=payload, attributes={"target": 0}), clock)
+        publish_records = cloud.ledger.filter(service=SERVICE_PUBSUB, operation="publish")
+        assert publish_records[0].quantity == 3
+
+    def test_delivered_bytes_are_billed(self, topic_and_queues, cloud):
+        topic, _ = topic_and_queues
+        clock = VirtualClock()
+        topic.publish(QueueMessage(body=b"x" * 1000, attributes={"target": 2}), clock)
+        byte_records = cloud.ledger.filter(service=SERVICE_PUBSUB, operation="delivery_bytes")
+        assert len(byte_records) == 1
+        assert byte_records[0].quantity == 1000
+
+    def test_undelivered_message_has_no_byte_charge(self, topic_and_queues, cloud):
+        topic, _ = topic_and_queues
+        clock = VirtualClock()
+        topic.publish(QueueMessage(body=b"x", attributes={"target": 42}), clock)
+        assert cloud.ledger.filter(service=SERVICE_PUBSUB, operation="delivery_bytes") == []
+
+    def test_stats_counters(self, topic_and_queues):
+        topic, _ = topic_and_queues
+        clock = VirtualClock()
+        topic.publish_batch(
+            [
+                QueueMessage(body=b"a", attributes={"target": 0}),
+                QueueMessage(body=b"b", attributes={"target": 1}),
+            ],
+            clock,
+        )
+        assert topic.total_publish_calls == 1
+        assert topic.total_messages_published == 2
+        assert topic.total_bytes_delivered == 2

@@ -1,0 +1,155 @@
+"""Tests for the simulated message queue service (SQS analogue)."""
+
+import pytest
+
+from repro.cloud import (
+    CloudEnvironment,
+    InvalidRequestError,
+    PayloadTooLargeError,
+    ResourceAlreadyExistsError,
+    ResourceNotFoundError,
+    VirtualClock,
+)
+from repro.cloud.billing import SERVICE_QUEUE
+from repro.cloud.queues import MAX_MESSAGE_BYTES, MAX_RECEIVE_BATCH, QueueMessage
+
+
+@pytest.fixture
+def service(cloud):
+    return cloud.queues
+
+
+class TestQueueService:
+    def test_create_and_get(self, service):
+        queue = service.create_queue("q1")
+        assert service.get_queue("q1") is queue
+        assert "q1" in service
+        assert service.list_queues() == ["q1"]
+
+    def test_duplicate_creation_rejected(self, service):
+        service.create_queue("q1")
+        with pytest.raises(ResourceAlreadyExistsError):
+            service.create_queue("q1")
+
+    def test_get_or_create_is_idempotent(self, service):
+        first = service.get_or_create_queue("q1")
+        second = service.get_or_create_queue("q1")
+        assert first is second
+
+    def test_missing_queue_raises(self, service):
+        with pytest.raises(ResourceNotFoundError):
+            service.get_queue("nope")
+
+    def test_delete_queue(self, service):
+        service.create_queue("q1")
+        service.delete_queue("q1")
+        assert "q1" not in service
+
+
+class TestSendReceive:
+    def test_send_then_receive_round_trip(self, service):
+        queue = service.create_queue("q")
+        producer, consumer = VirtualClock(), VirtualClock()
+        queue.send(QueueMessage(body=b"hello", attributes={"target": 1}), producer)
+        messages = queue.receive(consumer, wait_seconds=5.0)
+        assert len(messages) == 1
+        assert messages[0].body == b"hello"
+        assert messages[0].attributes["target"] == 1
+
+    def test_send_advances_producer_clock(self, service):
+        queue = service.create_queue("q")
+        clock = VirtualClock()
+        queue.send(QueueMessage(body=b"x"), clock)
+        assert clock.now > 0.0
+
+    def test_oversized_message_rejected(self, service):
+        queue = service.create_queue("q")
+        with pytest.raises(PayloadTooLargeError):
+            queue.send(QueueMessage(body=b"x" * (MAX_MESSAGE_BYTES + 1)), VirtualClock())
+
+    def test_receive_respects_visibility_timestamp(self, service):
+        queue = service.create_queue("q")
+        queue.deliver(QueueMessage(body=b"later", available_at=10.0))
+        consumer = VirtualClock()
+        # Short polling before the message is available returns nothing.
+        assert queue.receive(consumer, wait_seconds=0.0) == []
+        # Long polling waits (in virtual time) until it becomes available.
+        messages = queue.receive(consumer, wait_seconds=20.0)
+        assert len(messages) == 1
+        assert consumer.now >= 10.0
+
+    def test_long_poll_gives_up_after_wait(self, service):
+        queue = service.create_queue("q")
+        consumer = VirtualClock()
+        assert queue.receive(consumer, wait_seconds=3.0) == []
+        assert consumer.now >= 3.0
+
+    def test_receive_batch_capped_at_ten(self, service):
+        queue = service.create_queue("q")
+        producer = VirtualClock()
+        for i in range(15):
+            queue.send(QueueMessage(body=bytes([i])), producer)
+        consumer = VirtualClock(producer.now)
+        first = queue.receive(consumer)
+        second = queue.receive(consumer)
+        assert len(first) == MAX_RECEIVE_BATCH
+        assert len(second) == 5
+
+    def test_received_messages_are_removed(self, service):
+        queue = service.create_queue("q")
+        producer = VirtualClock()
+        queue.send(QueueMessage(body=b"only"), producer)
+        consumer = VirtualClock(producer.now)
+        assert len(queue.receive(consumer)) == 1
+        assert queue.receive(consumer) == []
+        assert queue.depth == 0
+
+    def test_invalid_receive_parameters(self, service):
+        queue = service.create_queue("q")
+        with pytest.raises(InvalidRequestError):
+            queue.receive(VirtualClock(), max_messages=0)
+        with pytest.raises(InvalidRequestError):
+            queue.receive(VirtualClock(), max_messages=11)
+        with pytest.raises(InvalidRequestError):
+            queue.receive(VirtualClock(), wait_seconds=30.0)
+
+    def test_delete_batch_limits(self, service):
+        queue = service.create_queue("q")
+        messages = [QueueMessage(body=b"m") for _ in range(11)]
+        with pytest.raises(Exception):
+            queue.delete_batch(messages, VirtualClock())
+        # empty delete is a silent no-op
+        queue.delete_batch([], VirtualClock())
+
+
+class TestQueueBilling:
+    def test_every_api_call_is_billed(self, cloud):
+        queue = cloud.queues.create_queue("q")
+        producer = VirtualClock()
+        queue.send(QueueMessage(body=b"x"), producer)
+        consumer = VirtualClock(producer.now)
+        received = queue.receive(consumer)
+        queue.delete_batch(received, consumer)
+        operations = {r.operation for r in cloud.ledger.filter(service=SERVICE_QUEUE)}
+        assert operations == {"send", "receive", "delete"}
+
+    def test_large_receive_billed_in_increments(self, cloud):
+        queue = cloud.queues.create_queue("q")
+        producer = VirtualClock()
+        big = QueueMessage(body=b"x" * (200 * 1024))
+        queue.send(big, producer)
+        consumer = VirtualClock(producer.now)
+        queue.receive(consumer)
+        receive_records = cloud.ledger.filter(service=SERVICE_QUEUE, operation="receive")
+        assert receive_records[0].quantity == 4  # 200 KB -> four 64 KB increments
+
+    def test_long_polling_finds_messages_short_polling_would_wait_for(self, cloud):
+        """Long polling returns in-flight messages instead of coming back empty."""
+        queue = cloud.queues.create_queue("q")
+        queue.deliver(QueueMessage(body=b"soon", available_at=1.0))
+        short_consumer = VirtualClock()
+        long_consumer = VirtualClock()
+        short = queue.receive(short_consumer, wait_seconds=0.0)
+        long = queue.receive(long_consumer, wait_seconds=5.0)
+        assert short == []
+        assert len(long) == 1

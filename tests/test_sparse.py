@@ -1,0 +1,236 @@
+"""Tests (including property-based tests) for the sparse substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.sparse import (
+    RowBlock,
+    as_csr,
+    csr_nbytes,
+    empty_csr,
+    expand_rows,
+    flop_count_spmm,
+    relu_threshold,
+    rows_with_nonzeros,
+    add_bias_to_nonzero_structure,
+    sparsify,
+    split_rows,
+    spmm,
+)
+
+
+def random_csr(rows, cols, density, seed):
+    rng = np.random.default_rng(seed)
+    return sparse.random(rows, cols, density=density, format="csr", random_state=rng, dtype=np.float32)
+
+
+class TestBasics:
+    def test_as_csr_passthrough(self):
+        matrix = random_csr(4, 4, 0.5, 0)
+        assert as_csr(matrix) is matrix
+
+    def test_as_csr_from_dense(self):
+        dense = np.eye(3)
+        converted = as_csr(dense)
+        assert sparse.isspmatrix_csr(converted)
+        assert converted.nnz == 3
+
+    def test_empty_csr(self):
+        empty = empty_csr((5, 7))
+        assert empty.shape == (5, 7)
+        assert empty.nnz == 0
+
+    def test_csr_nbytes_positive_and_grows(self):
+        small = random_csr(10, 10, 0.1, 1)
+        large = random_csr(100, 100, 0.3, 1)
+        assert 0 < csr_nbytes(small) < csr_nbytes(large)
+
+    def test_rows_with_nonzeros(self):
+        matrix = sparse.csr_matrix(np.array([[0, 0], [1, 0], [0, 0], [2, 3]]))
+        assert rows_with_nonzeros(matrix).tolist() == [1, 3]
+
+
+class TestOps:
+    def test_spmm_matches_dense(self):
+        a = random_csr(8, 8, 0.4, 2)
+        b = random_csr(8, 3, 0.5, 3)
+        product = spmm(a, b)
+        np.testing.assert_allclose(product.todense(), a.todense() @ b.todense(), rtol=1e-5)
+
+    def test_bias_applied_only_to_stored_entries(self):
+        matrix = sparse.csr_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        biased = add_bias_to_nonzero_structure(matrix, -0.5)
+        dense = np.asarray(biased.todense())
+        assert dense[0, 0] == pytest.approx(0.5)
+        assert dense[0, 1] == 0.0  # untouched structural zero
+
+    def test_bias_eliminates_entries_that_become_zero(self):
+        matrix = sparse.csr_matrix(np.array([[0.5, 0.0], [0.0, 2.0]]))
+        biased = add_bias_to_nonzero_structure(matrix, -0.5)
+        assert biased.nnz == 1
+
+    def test_relu_threshold_clamps_and_caps(self):
+        matrix = sparse.csr_matrix(np.array([[-1.0, 50.0], [0.5, 0.0]]))
+        result = relu_threshold(matrix, cap=32.0)
+        dense = np.asarray(result.todense())
+        assert dense[0, 0] == 0.0
+        assert dense[0, 1] == 32.0
+        assert dense[1, 0] == 0.5
+        assert result.nnz == 2  # the negative entry was removed from the structure
+
+    def test_relu_without_cap(self):
+        matrix = sparse.csr_matrix(np.array([[100.0, -3.0]]))
+        result = relu_threshold(matrix, cap=None)
+        assert np.asarray(result.todense())[0, 0] == 100.0
+
+    def test_sparsify_drops_below_threshold(self):
+        dense = np.array([[0.0, 0.2], [0.05, 1.0]])
+        result = sparsify(dense, threshold=0.1)
+        assert result.nnz == 2
+
+    def test_flop_count_zero_cases(self):
+        a = empty_csr((4, 4))
+        b = random_csr(4, 2, 0.5, 1)
+        assert flop_count_spmm(a, b) == 0.0
+        assert flop_count_spmm(b, empty_csr((2, 3))) == 0.0
+
+    def test_flop_count_counts_pairings(self):
+        weights = sparse.csr_matrix(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        activations = sparse.csr_matrix(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        # W row 0 pairs with act rows {0:1nnz, 1:2nnz}; W row 1 pairs with act row 1 (2nnz)
+        assert flop_count_spmm(weights, activations) == pytest.approx(2.0 * (1 + 2 + 2))
+
+
+class TestRowBlock:
+    def test_row_block_extraction(self):
+        matrix = random_csr(10, 6, 0.4, 4)
+        block = RowBlock(global_rows=np.array([2, 5, 7]), local=matrix[[2, 5, 7], :])
+        assert block.num_rows == 3
+        assert block.owns(5)
+        assert not block.owns(3)
+        extracted = block.extract_rows([7, 2])
+        np.testing.assert_allclose(extracted.todense(), matrix[[7, 2], :].todense())
+
+    def test_mismatched_row_count_rejected(self):
+        with pytest.raises(ValueError):
+            RowBlock(global_rows=np.array([1, 2]), local=random_csr(3, 3, 0.5, 0))
+
+    def test_extract_nonempty_rows(self):
+        local = sparse.csr_matrix(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        block = RowBlock(global_rows=np.array([4, 9]), local=local)
+        with_data, without_data = block.extract_nonempty_rows([4, 9])
+        assert with_data == [9]
+        assert without_data == [4]
+
+    def test_split_rows_partitions_everything(self):
+        matrix = random_csr(20, 5, 0.3, 5)
+        owner = np.array([i % 3 for i in range(20)])
+        blocks = split_rows(matrix, owner, 3)
+        assert sum(b.num_rows for b in blocks) == 20
+        total_nnz = sum(b.nnz for b in blocks)
+        assert total_nnz == matrix.nnz
+
+    def test_split_rows_validates_owner(self):
+        matrix = random_csr(4, 4, 0.5, 0)
+        with pytest.raises(ValueError):
+            split_rows(matrix, np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            split_rows(matrix, np.array([0, 1, 2, 5]), 3)
+
+
+class TestExpandRows:
+    def test_expand_round_trip(self):
+        matrix = random_csr(12, 4, 0.4, 6)
+        rows = np.array([1, 4, 9])
+        expanded = expand_rows(rows, matrix[rows, :], 12)
+        np.testing.assert_allclose(
+            expanded[rows, :].todense(), matrix[rows, :].todense()
+        )
+        untouched = [i for i in range(12) if i not in rows.tolist()]
+        assert expanded[untouched, :].nnz == 0
+
+    def test_expand_validates_inputs(self):
+        matrix = random_csr(3, 3, 0.5, 0)
+        with pytest.raises(ValueError):
+            expand_rows([0, 1], matrix, 10)
+        with pytest.raises(ValueError):
+            expand_rows([0, 1, 20], matrix, 10)
+
+    def test_expand_unsorted_rows(self):
+        matrix = random_csr(8, 3, 0.6, 7)
+        rows = np.array([6, 0, 3])
+        expanded = expand_rows(rows, matrix[rows, :], 8)
+        np.testing.assert_allclose(expanded[6, :].todense(), matrix[6, :].todense())
+        np.testing.assert_allclose(expanded[0, :].todense(), matrix[0, :].todense())
+
+
+# ----------------------------- property-based tests -----------------------------
+
+
+@st.composite
+def csr_and_subset(draw):
+    rows = draw(st.integers(min_value=1, max_value=30))
+    cols = draw(st.integers(min_value=1, max_value=10))
+    density = draw(st.floats(min_value=0.0, max_value=0.8))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    matrix = random_csr(rows, cols, density, seed)
+    subset_size = draw(st.integers(min_value=0, max_value=rows))
+    rng = np.random.default_rng(seed + 1)
+    subset = rng.choice(rows, size=subset_size, replace=False)
+    return matrix, subset
+
+
+@given(csr_and_subset())
+@settings(max_examples=40, deadline=None)
+def test_expand_rows_preserves_every_value(data):
+    """expand_rows never loses, duplicates or relocates values."""
+    matrix, subset = data
+    expanded = expand_rows(subset, matrix[subset, :], matrix.shape[0])
+    assert expanded.shape == matrix.shape
+    assert expanded.nnz == matrix[subset, :].nnz
+    if len(subset):
+        np.testing.assert_allclose(
+            np.asarray(expanded[subset, :].todense()),
+            np.asarray(matrix[subset, :].todense()),
+            rtol=1e-6,
+        )
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_split_rows_is_a_partition(rows, cols, parts, seed):
+    """Every row/nonzero lands in exactly one block regardless of ownership."""
+    matrix = random_csr(rows, cols, 0.4, seed)
+    rng = np.random.default_rng(seed)
+    owner = rng.integers(0, parts, size=rows)
+    blocks = split_rows(matrix, owner, parts)
+    assert len(blocks) == parts
+    assert sum(b.num_rows for b in blocks) == rows
+    assert sum(b.nnz for b in blocks) == matrix.nnz
+    seen = np.concatenate([b.global_rows for b in blocks])
+    assert sorted(seen.tolist()) == list(range(rows))
+
+
+@given(
+    st.integers(min_value=1, max_value=25),
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=-2.0, max_value=2.0),
+    st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_relu_threshold_invariants(rows, cols, bias, seed):
+    """After bias + ReLU + cap, stored values are always within (0, cap]."""
+    matrix = random_csr(rows, cols, 0.5, seed)
+    biased = add_bias_to_nonzero_structure(matrix, bias)
+    result = relu_threshold(biased, cap=32.0)
+    if result.nnz:
+        assert result.data.min() > 0.0
+        assert result.data.max() <= 32.0

@@ -1,0 +1,122 @@
+"""Tests for virtual clocks, the latency model and jitter."""
+
+import pytest
+
+from repro.cloud.timing import JitterModel, LatencyModel, VirtualClock, merge_latency_overrides
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(12.5).now == 12.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance(2.0)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.5)
+
+    def test_advance_rejects_negative_duration(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = VirtualClock(1.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(5.0)
+        clock.advance_to(2.0)
+        assert clock.now == 5.0
+
+    def test_copy_is_independent(self):
+        clock = VirtualClock(1.0)
+        other = clock.copy()
+        other.advance(10.0)
+        assert clock.now == 1.0
+        assert other.now == 11.0
+
+
+class TestJitterModel:
+    def test_zero_spread_is_identity(self):
+        jitter = JitterModel(spread=0.0)
+        assert jitter.apply(1.5) == 1.5
+
+    def test_spread_bounds_latency(self):
+        jitter = JitterModel(spread=0.2, seed=1)
+        values = [jitter.apply(1.0) for _ in range(100)]
+        assert all(0.8 <= v <= 1.2 for v in values)
+        # with nonzero spread the values should not all collapse to 1.0
+        assert len({round(v, 6) for v in values}) > 1
+
+    def test_invalid_spread_rejected(self):
+        with pytest.raises(ValueError):
+            JitterModel(spread=1.5)
+
+
+class TestLatencyModel:
+    def test_cold_start_slower_than_warm(self):
+        latency = LatencyModel()
+        assert latency.faas_startup(cold=True, memory_mb=1024) > latency.faas_startup(
+            cold=False, memory_mb=1024
+        )
+
+    def test_cold_start_grows_with_memory(self):
+        latency = LatencyModel()
+        assert latency.faas_startup(True, 10240) > latency.faas_startup(True, 128)
+
+    def test_compute_scales_inversely_with_vcpus(self):
+        latency = LatencyModel()
+        one = latency.faas_compute(1e9, vcpus=1.0)
+        two = latency.faas_compute(1e9, vcpus=2.0)
+        assert two == pytest.approx(one / 2.0)
+
+    def test_zero_flops_costs_nothing(self):
+        assert LatencyModel().faas_compute(0.0, 2.0) == 0.0
+
+    def test_object_put_includes_bandwidth_term(self):
+        latency = LatencyModel()
+        small = latency.object_put(1024)
+        large = latency.object_put(100 * 1024 * 1024)
+        assert large > small
+
+    def test_pubsub_publish_grows_with_payload(self):
+        latency = LatencyModel()
+        assert latency.pubsub_publish(256 * 1024) > latency.pubsub_publish(1024)
+
+    def test_vm_compute_uses_parallel_efficiency(self):
+        latency = LatencyModel()
+        ideal = 1e9 / (latency.vm_flops_per_vcpu * 8)
+        assert latency.vm_compute(1e9, 8) > ideal
+
+    def test_hpc_compute_caps_cores_at_cluster_size(self):
+        latency = LatencyModel()
+        max_cores = latency.hpc_cores_per_node * latency.hpc_nodes
+        assert latency.hpc_compute(1e9, max_cores) == pytest.approx(
+            latency.hpc_compute(1e9, max_cores * 10)
+        )
+
+    def test_hpc_transfer_combines_latency_and_bandwidth(self):
+        latency = LatencyModel()
+        assert latency.hpc_transfer(0) == pytest.approx(latency.hpc_interconnect_latency_seconds)
+        assert latency.hpc_transfer(10 ** 9) > latency.hpc_transfer(10 ** 6)
+
+    def test_merge_latency_overrides(self):
+        merged = merge_latency_overrides(object_put_latency_seconds=0.5)
+        assert merged.object_put_latency_seconds == 0.5
+        # untouched fields keep their defaults
+        assert merged.queue_receive_rtt_seconds == LatencyModel().queue_receive_rtt_seconds
+
+    def test_with_jitter_returns_new_model(self):
+        base = LatencyModel()
+        jittered = base.with_jitter(0.1, seed=2)
+        assert jittered.jitter.spread == 0.1
+        assert base.jitter.spread == 0.0

@@ -1,0 +1,110 @@
+"""Tests for the simulated EC2 instances and EBS volumes."""
+
+import pytest
+
+from repro.cloud import InstanceSpec, InvalidRequestError, ResourceNotFoundError, VirtualClock
+from repro.cloud.billing import SERVICE_BLOCK, SERVICE_VM
+from repro.cloud.pricing import EC2_HOURLY_PRICES
+
+
+class TestInstanceSpec:
+    def test_known_types(self):
+        spec = InstanceSpec.for_type("c5.12xlarge")
+        assert spec.vcpus == 48
+        assert spec.memory_gib == 96
+        assert spec.memory_bytes == 96 * 1024 ** 3
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            InstanceSpec.for_type("x1e.gigantic")
+
+
+class TestVirtualMachine:
+    def test_job_scoped_startup_is_slow(self, cloud):
+        vm = cloud.vms.launch("c5.2xlarge", always_on=False)
+        ready_at = vm.start()
+        assert ready_at >= 100.0  # minutes-scale provisioning delay
+
+    def test_always_on_dispatch_is_fast(self, cloud):
+        vm = cloud.vms.launch("c5.12xlarge", always_on=True)
+        ready_at = vm.start()
+        assert ready_at < 1.0
+
+    def test_stop_bills_elapsed_duration(self, cloud):
+        vm = cloud.vms.launch("c5.2xlarge", always_on=False)
+        vm.start()
+        vm.run_compute(1e12)
+        duration = vm.stop()
+        records = cloud.ledger.filter(service=SERVICE_VM)
+        assert len(records) == 1
+        expected = (duration / 3600.0) * EC2_HOURLY_PRICES["c5.2xlarge"]
+        assert records[0].cost == pytest.approx(expected)
+
+    def test_stop_before_start_rejected(self, cloud):
+        vm = cloud.vms.launch("c5.2xlarge")
+        with pytest.raises(InvalidRequestError):
+            vm.stop()
+
+    def test_always_on_period_billing(self, cloud):
+        vm = cloud.vms.launch("c5.12xlarge", always_on=True)
+        cost = vm.bill_always_on_period(24.0)
+        assert cost == pytest.approx(24.0 * EC2_HOURLY_PRICES["c5.12xlarge"])
+
+    def test_compute_faster_with_more_vcpus(self, cloud):
+        small = cloud.vms.launch("c5.2xlarge")
+        big = cloud.vms.launch("c5.12xlarge")
+        small.start()
+        big.start()
+        t_small = small.run_compute(1e12)
+        t_big = big.run_compute(1e12)
+        assert t_big < t_small
+
+    def test_model_load_paths_differ(self, cloud):
+        vm = cloud.vms.launch("c5.12xlarge", always_on=True)
+        vm.start()
+        ebs = vm.load_from_block(10 ** 9)
+        s3 = vm.load_from_object_storage(10 ** 9)
+        assert s3 > ebs  # object storage is the slower, "cold" path
+
+    def test_memory_fit_check(self, cloud):
+        vm = cloud.vms.launch("c5.2xlarge")
+        assert vm.fits_in_memory(8 * 1024 ** 3)
+        assert not vm.fits_in_memory(64 * 1024 ** 3)
+
+    def test_registry(self, cloud):
+        vm = cloud.vms.launch("c5.2xlarge", name="my-vm")
+        assert cloud.vms.get("my-vm") is vm
+        assert "my-vm" in cloud.vms
+        with pytest.raises(ResourceNotFoundError):
+            cloud.vms.get("missing")
+
+
+class TestBlockStorage:
+    def test_create_and_read(self, cloud):
+        volume = cloud.block_storage.create_volume("vol", size_gb=100)
+        clock = VirtualClock()
+        duration = volume.read(500 * 1024 * 1024, clock)
+        assert duration > 0
+        assert clock.now == pytest.approx(duration)
+        assert volume.total_bytes_read == 500 * 1024 * 1024
+
+    def test_invalid_volume_parameters(self, cloud):
+        with pytest.raises(InvalidRequestError):
+            cloud.block_storage.create_volume("v", size_gb=0)
+        volume = cloud.block_storage.create_volume("v", size_gb=10)
+        with pytest.raises(InvalidRequestError):
+            volume.read(-1, VirtualClock())
+
+    def test_monthly_and_prorated_cost(self, cloud):
+        volume = cloud.block_storage.create_volume("vol", size_gb=100)
+        monthly = volume.monthly_cost()
+        assert monthly == pytest.approx(100 * cloud.prices.block_price_per_gb_month)
+        day = volume.charge_for_duration(24 * 3600, timestamp=0.0)
+        assert day == pytest.approx(monthly / 30.0)
+        assert cloud.ledger.filter(service=SERVICE_BLOCK)
+
+    def test_registry(self, cloud):
+        cloud.block_storage.create_volume("vol", 10)
+        assert "vol" in cloud.block_storage
+        with pytest.raises(ResourceNotFoundError):
+            cloud.block_storage.get_volume("missing")

@@ -1,0 +1,175 @@
+"""Tests for the Graph Challenge generator and the sporadic workload model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    GraphChallengeConfig,
+    PAPER_BATCH_SIZE,
+    PAPER_BIASES,
+    PAPER_LAYER_COUNT,
+    PAPER_NEURON_COUNTS,
+    build_graph_challenge_model,
+    generate_input_batch,
+    generate_sporadic_workload,
+    paper_configuration,
+)
+
+
+class TestGraphChallengeConfig:
+    def test_defaults_are_valid(self):
+        config = GraphChallengeConfig()
+        assert config.neurons == 1024
+        assert config.effective_bias == PAPER_BIASES[1024]
+
+    def test_paper_bias_used_for_paper_sizes(self):
+        for neurons, bias in PAPER_BIASES.items():
+            config = GraphChallengeConfig(neurons=neurons)
+            assert config.effective_bias == bias
+
+    def test_explicit_bias_wins(self):
+        config = GraphChallengeConfig(neurons=1024, bias=-0.99)
+        assert config.effective_bias == -0.99
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GraphChallengeConfig(neurons=1)
+        with pytest.raises(ValueError):
+            GraphChallengeConfig(layers=0)
+        with pytest.raises(ValueError):
+            GraphChallengeConfig(neurons=64, nnz_per_row=100)
+        with pytest.raises(ValueError):
+            GraphChallengeConfig(num_communities=0)
+        with pytest.raises(ValueError):
+            GraphChallengeConfig(community_link_fraction=1.5)
+        with pytest.raises(ValueError):
+            GraphChallengeConfig(links_per_community=0)
+
+    def test_name_defaults_to_parameter_slug(self):
+        config = GraphChallengeConfig(neurons=512, layers=6, seed=3)
+        assert "512" in config.effective_name
+        assert GraphChallengeConfig(name="custom").effective_name == "custom"
+
+    def test_paper_configuration_helper(self):
+        config = paper_configuration(16384, layers=12)
+        assert config.neurons == 16384
+        assert config.bias == PAPER_BIASES[16384]
+        with pytest.raises(ValueError):
+            paper_configuration(999)
+
+    def test_paper_constants(self):
+        assert PAPER_LAYER_COUNT == 120
+        assert PAPER_BATCH_SIZE == 10_000
+        assert PAPER_NEURON_COUNTS == (1024, 4096, 16384, 65536)
+
+
+class TestModelGenerator:
+    def test_structure_matches_config(self):
+        config = GraphChallengeConfig(neurons=128, layers=5, nnz_per_row=8, num_communities=8)
+        model = build_graph_challenge_model(config)
+        assert model.num_layers == 5
+        assert model.num_neurons == 128
+        # nnz per row is approximately nnz_per_row (duplicates are merged).
+        avg_nnz = model.total_nnz / (5 * 128)
+        assert 5 <= avg_nnz <= 8
+
+    def test_deterministic_in_seed(self):
+        config = GraphChallengeConfig(neurons=64, layers=2, nnz_per_row=4, num_communities=4, seed=9)
+        a = build_graph_challenge_model(config)
+        b = build_graph_challenge_model(config)
+        for wa, wb in zip(a.weights, b.weights):
+            assert (wa != wb).nnz == 0
+
+    def test_different_seeds_differ(self):
+        base = dict(neurons=64, layers=2, nnz_per_row=4, num_communities=4)
+        a = build_graph_challenge_model(GraphChallengeConfig(seed=1, **base))
+        b = build_graph_challenge_model(GraphChallengeConfig(seed=2, **base))
+        assert any((wa != wb).nnz > 0 for wa, wb in zip(a.weights, b.weights))
+
+    def test_activations_survive_through_layers(self):
+        """The synthetic weights/bias keep activations alive (non-degenerate)."""
+        config = GraphChallengeConfig(neurons=256, layers=6, nnz_per_row=8, num_communities=16)
+        model = build_graph_challenge_model(config)
+        batch = generate_input_batch(256, samples=10, seed=1)
+        output = model.forward(batch)
+        assert output.nnz > 0
+
+    def test_community_structure_creates_locality(self):
+        """Most weight references stay within the planted community pools."""
+        config = GraphChallengeConfig(
+            neurons=256, layers=3, nnz_per_row=8, num_communities=8,
+            community_link_fraction=1.0, links_per_community=1, seed=5,
+        )
+        model = build_graph_challenge_model(config)
+        # With link fraction 1.0 and a single linked community (itself), the
+        # aggregated connectivity graph must be block-diagonal under the hidden
+        # permutation: every neuron's references stay inside one group of 32.
+        from repro.partitioning import aggregate_connectivity
+
+        adjacency = aggregate_connectivity(model)
+        # Each vertex should connect to at most community_size - 1 = 31 others.
+        degrees = np.diff(adjacency.indptr)
+        assert degrees.max() <= 31
+
+
+class TestInputBatches:
+    def test_shape_and_binary_values(self):
+        batch = generate_input_batch(128, samples=20, density=0.25, seed=3)
+        assert batch.shape == (128, 20)
+        assert set(np.unique(batch.data)) == {1.0}
+
+    def test_density_controls_nnz(self):
+        sparse_batch = generate_input_batch(1000, 10, density=0.05, seed=1)
+        dense_batch = generate_input_batch(1000, 10, density=0.5, seed=1)
+        assert sparse_batch.nnz < dense_batch.nnz
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_input_batch(10, samples=0)
+        with pytest.raises(ValueError):
+            generate_input_batch(10, samples=1, density=0.0)
+
+    def test_deterministic_in_seed(self):
+        a = generate_input_batch(64, 5, seed=7)
+        b = generate_input_batch(64, 5, seed=7)
+        assert (a != b).nnz == 0
+
+
+class TestSporadicWorkload:
+    def test_total_samples_preserved(self):
+        workload = generate_sporadic_workload(daily_samples=35_000, batch_size=10_000)
+        assert workload.total_samples == 35_000
+
+    def test_samples_spread_over_neuron_counts(self):
+        workload = generate_sporadic_workload(daily_samples=80_000, batch_size=10_000)
+        by_neurons = workload.samples_by_neurons()
+        assert set(by_neurons) == set(PAPER_NEURON_COUNTS)
+        assert all(v == 20_000 for v in by_neurons.values())
+
+    def test_arrivals_within_horizon_and_sorted(self):
+        workload = generate_sporadic_workload(daily_samples=100_000, batch_size=10_000, seed=5)
+        times = [q.arrival_time for q in workload.queries]
+        assert times == sorted(times)
+        assert all(0 <= t <= workload.horizon_seconds for t in times)
+
+    def test_query_ids_sequential(self):
+        workload = generate_sporadic_workload(daily_samples=50_000, batch_size=10_000)
+        assert [q.query_id for q in workload.queries] == list(range(workload.num_queries))
+
+    def test_deterministic_in_seed(self):
+        a = generate_sporadic_workload(40_000, seed=3)
+        b = generate_sporadic_workload(40_000, seed=3)
+        assert [q.arrival_time for q in a.queries] == [q.arrival_time for q in b.queries]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_sporadic_workload(0)
+        with pytest.raises(ValueError):
+            generate_sporadic_workload(100, batch_size=0)
+        with pytest.raises(ValueError):
+            generate_sporadic_workload(100, neuron_counts=())
+
+    def test_max_concurrent_queries(self):
+        workload = generate_sporadic_workload(200_000, batch_size=10_000, seed=1)
+        assert workload.max_concurrent_queries(1.0) >= 1
+        assert workload.max_concurrent_queries(86_400.0) == workload.num_queries
