@@ -1,0 +1,163 @@
+"""Wall-clock micro-benchmark of the simulator's hot path.
+
+Unlike the paper-figure benchmarks (which report *virtual-time* results),
+this harness measures real wall-clock seconds of the two components that
+dominate a `bench_fig6_scaling.py` sweep:
+
+* the per-worker layer loop (send / local compute / receive / finalize)
+  driven through a full engine run on both channels, and
+* the offline ``HypergraphPartitioner`` assignment.
+
+It appends one record per invocation to ``BENCH_hotpath.json`` at the repo
+root, so successive PRs accumulate a seed-vs-now trajectory.  Each record
+also carries the *simulated* fingerprints (``latency_seconds`` and
+``CostReport.total`` per run): the virtual-clock/cost model charges by
+sparsity structure, not wall-clock, so these numbers must stay bit-for-bit
+identical while the wall-clock numbers shrink.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick] [--label NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+from common import build_workload, run_engine, scaled_cloud  # noqa: E402
+
+from repro import HypergraphPartitioner, Variant  # noqa: E402
+
+RESULT_PATH = _HERE.parent / "BENCH_hotpath.json"
+
+#: (neurons, layers, samples, workers) scales; the largest matches the top of
+#: the default scaled Figure-6 sweep (N=2048 stands in for the paper's 65536).
+SCALES = [
+    (512, 8, 32, 4),
+    (1024, 8, 32, 8),
+    (2048, 8, 32, 8),
+]
+QUICK_SCALES = [(512, 8, 32, 4)]
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_HERE.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _time_scale(neurons: int, layers: int, samples: int, workers: int, repeats: int) -> dict:
+    workload = build_workload(neurons, layers, samples)
+
+    partition_s = []
+    for _ in range(repeats):
+        partitioner = HypergraphPartitioner(seed=1)
+        start = time.perf_counter()
+        partitioner.partition(workload.model, workers)
+        partition_s.append(time.perf_counter() - start)
+
+    # Build (and cache) the plan once, like the Figure-6 sweep does, so the
+    # engine timings below measure the per-query layer loop, not planning.
+    workload.plan_for(workers)
+
+    fingerprints = {}
+    channel_s = {}
+    for variant in (Variant.QUEUE, Variant.OBJECT):
+        samples_s = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_engine(workload, variant, workers, cloud=scaled_cloud())
+            samples_s.append(time.perf_counter() - start)
+        channel_s[variant.value] = min(samples_s)
+        fingerprints[variant.value] = {
+            "latency_seconds": result.latency_seconds,
+            "cost_total": result.cost.total,
+            "output_nnz": int(result.output.nnz),
+        }
+
+    return {
+        "neurons": neurons,
+        "layers": layers,
+        "samples": samples,
+        "workers": workers,
+        "partition_s": min(partition_s),
+        "queue_s": channel_s[Variant.QUEUE.value],
+        "object_s": channel_s[Variant.OBJECT.value],
+        "total_s": min(partition_s) + channel_s[Variant.QUEUE.value] + channel_s[Variant.OBJECT.value],
+        "simulated": fingerprints,
+    }
+
+
+def run(quick: bool = False, label: str | None = None, repeats: int = 2) -> dict:
+    scales = QUICK_SCALES if quick else SCALES
+    record = {
+        "label": label or _git_rev(),
+        "git_rev": _git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "scales": [_time_scale(*scale, repeats=repeats) for scale in scales],
+    }
+    record["total_s"] = sum(scale["total_s"] for scale in record["scales"])
+
+    history = {"records": []}
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    history.setdefault("records", []).append(record)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(f"hotpath benchmark -- label={record['label']} rev={record['git_rev']}")
+    for scale in record["scales"]:
+        print(
+            f"  N={scale['neurons']:5d} L={scale['layers']} S={scale['samples']} "
+            f"P={scale['workers']}: partition {scale['partition_s']:.3f}s, "
+            f"queue {scale['queue_s']:.3f}s, object {scale['object_s']:.3f}s"
+        )
+    baseline = next(
+        (r for r in history["records"] if r.get("quick") == quick and r is not record),
+        None,
+    )
+    if baseline is not None:
+        speedup = baseline["total_s"] / record["total_s"] if record["total_s"] else float("inf")
+        print(
+            f"  total {record['total_s']:.3f}s vs first comparable record "
+            f"'{baseline['label']}' {baseline['total_s']:.3f}s -> {speedup:.2f}x"
+        )
+        record["speedup_vs_baseline"] = speedup
+        RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    else:
+        print(f"  total {record['total_s']:.3f}s (first record at this scale set)")
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smallest scale only (CI smoke)")
+    parser.add_argument("--label", default=None, help="trajectory label for this record")
+    parser.add_argument("--repeats", type=int, default=2, help="best-of-N wall-clock repeats")
+    args = parser.parse_args()
+    run(quick=args.quick, label=args.label, repeats=args.repeats)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,13 @@ can be requested with environment variables:
 * ``FSD_BENCH_SAMPLES``  -- batch size (default 32)
 * ``FSD_BENCH_WORKERS``  -- comma-separated worker counts (default 2,4,6,8)
 * ``FSD_BENCH_FULL=1``   -- use the paper's full configuration (slow)
+
+Performance note: the engine's per-layer loop computes in *compacted local
+dimensions* (see "Performance architecture" in ROADMAP.md).  Simulated
+latencies/costs depend only on sparsity structure, so wall-clock benchmark
+work (``bench_hotpath.py``) can shrink while every simulated number stays
+bit-for-bit fixed; benchmarks must never rely on wall-clock timing for the
+paper's figures.
 """
 
 from __future__ import annotations

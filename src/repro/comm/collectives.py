@@ -20,6 +20,7 @@ import numpy as np
 from scipy import sparse
 
 from ..cloud import VirtualClock
+from ..sparse import expand_rows
 from .base import CommChannel, PollResult, ThreadPool
 
 __all__ = ["barrier", "reduce_to_root", "broadcast_rows", "all_gather_rows"]
@@ -92,9 +93,24 @@ def reduce_to_root(
 
     stacked_rows = np.concatenate(all_rows)
     stacked = sparse.vstack(all_matrices, format="csr")
-    order = np.argsort(stacked_rows, kind="stable")
     total_rows = int(stacked_rows.max()) + 1
     columns = num_columns if num_columns is not None else stacked.shape[1]
+    if stacked.shape[1] == columns and len(np.unique(stacked_rows)) == len(stacked_rows):
+        # Disjoint contributions of the expected width (the normal case: row
+        # ownership is a partition): scatter the stacked rows straight into
+        # place with the vectorized expand, instead of per-row LIL
+        # assignment.  The LIL round-trip canonicalised the result (sorted
+        # column indices, no explicit zeros), so apply the same
+        # canonicalisation here -- worker activations arrive with the
+        # unsorted index order of scipy's SpMM.
+        assembled = expand_rows(stacked_rows, stacked, total_rows)
+        assembled.sort_indices()
+        assembled.eliminate_zeros()
+        return assembled
+    # Overlapping row ids or a width mismatch (not produced by the engine,
+    # but expressible through this generic collective): keep the LIL
+    # semantics, including its last-writer-wins and shape error behavior.
+    order = np.argsort(stacked_rows, kind="stable")
     assembled = sparse.lil_matrix((total_rows, columns), dtype=np.float64)
     reordered = stacked[order, :]
     sorted_rows = stacked_rows[order]

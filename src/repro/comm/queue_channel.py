@@ -218,7 +218,9 @@ class QueueChannel(CommChannel):
                 self._expected_chunks.pop(key, None)
                 all_rows = np.concatenate([ids for ids, _ in parts]) if parts else np.empty(0, dtype=np.int64)
                 matrices = [m for _, m in parts if m.shape[0] > 0]
-                if matrices:
+                if len(matrices) == 1:
+                    stacked = matrices[0]  # single-chunk transfer (common case)
+                elif matrices:
                     stacked = sparse.vstack(matrices, format="csr")
                 else:
                     stacked = sparse.csr_matrix((0, rows_matrix.shape[1]), dtype=np.float64)

@@ -36,6 +36,7 @@ from ..comm import (
     QueueChannel,
     QueueChannelConfig,
     barrier,
+    decode_row_payload,
     encode_row_payload,
     reduce_to_root,
 )
@@ -176,8 +177,6 @@ class FSDInference:
         weights: List[sparse.csr_matrix] = []
         for layer in range(model.num_layers):
             payload = bucket.get_object(layout.full_model_key(layer), clock)
-            from ..comm import decode_row_payload
-
             _, weight = decode_row_payload(payload)
             weights.append(weight)
             resident_bytes += csr_nbytes(weight)
@@ -186,8 +185,6 @@ class FSDInference:
 
         input_start = clock.now
         payload = bucket.get_object(layout.full_input_key(), clock)
-        from ..comm import decode_row_payload
-
         _, activations = decode_row_payload(payload)
         resident_bytes += csr_nbytes(activations)
         invocation.account_memory(resident_bytes)
@@ -405,16 +402,30 @@ class FSDInference:
         bucket,
         layout: StagedDataLayout,
     ) -> None:
-        """Place per-worker model partitions and input row blocks in object storage."""
+        """Place per-worker model partitions and input row blocks in object storage.
+
+        The encoded weight payloads are a pure function of the plan contents,
+        so they are cached *on the plan object* (keyed by compression and the
+        staged model name): re-running the same plan -- the common benchmark
+        sweep pattern -- skips the re-encode, while distinct plans or models
+        can never collide because they are distinct objects.
+        """
         cache_key = (model.name, plan.num_workers, plan.partitioner_name)
         if cache_key not in self._staged_weights:
-            for layer in range(plan.num_layers):
-                for worker in range(plan.num_workers):
-                    block = plan.weight_blocks[layer][worker]
-                    payload = encode_row_payload(
-                        block.global_rows, block.local, compress=self.config.compress
-                    )
-                    bucket.preload_object(layout.weight_key(worker, layer), payload)
+            encoded_key = (model.name, self.config.compress)
+            encoded = plan.staged_payload_cache.get(encoded_key)
+            if encoded is None:
+                encoded = []
+                for layer in range(plan.num_layers):
+                    for worker in range(plan.num_workers):
+                        block = plan.weight_blocks[layer][worker]
+                        payload = encode_row_payload(
+                            block.global_rows, block.local, compress=self.config.compress
+                        )
+                        encoded.append((layout.weight_key(worker, layer), payload))
+                plan.staged_payload_cache[encoded_key] = encoded
+            for key, payload in encoded:
+                bucket.preload_object(key, payload)
             self._staged_weights.add(cache_key)
         for worker in range(plan.num_workers):
             rows = plan.worker_rows(worker)

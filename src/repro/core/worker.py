@@ -21,7 +21,7 @@ which of the two communication schemes is in use).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -30,11 +30,13 @@ from ..cloud import Bucket, FunctionInvocation
 from ..comm import CommChannel, ThreadPool, decode_row_payload
 from ..partitioning import PartitionPlan
 from ..sparse import (
+    accumulate_spmm,
     add_bias_to_nonzero_structure,
-    as_csr,
     csr_nbytes,
     expand_rows,
     flop_count_spmm,
+    gather_rows,
+    positions_in_sorted,
     relu_threshold,
 )
 from .metrics import LayerMetrics, WorkerMetrics
@@ -100,10 +102,10 @@ class FSIWorker:
 
         self.num_neurons = plan.num_neurons
         self.num_layers = plan.num_layers
+        #: ascending global rows owned by this worker; ``x_local`` stores its
+        #: activation rows in exactly this order, so row lookups are a
+        #: ``searchsorted`` rather than a per-row dict probe.
         self.owned_rows = plan.worker_rows(worker_id)
-        self._local_position: Dict[int, int] = {
-            int(row): index for index, row in enumerate(self.owned_rows)
-        }
 
         # Runtime state.  The static footprint starts at the language-runtime
         # overhead (Python + numeric libraries) configured for the deployment.
@@ -190,13 +192,20 @@ class FSIWorker:
         layer_metrics.send_seconds += elapsed
 
     def local_compute(self, layer: int, layer_metrics: LayerMetrics) -> None:
-        """Line 8 of Algorithm 1 / line 9 of Algorithm 2: overlap compute with comms."""
+        """Line 8 of Algorithm 1 / line 9 of Algorithm 2: overlap compute with comms.
+
+        The product runs entirely in compacted local dimensions: the plan's
+        pre-sliced weight kernel pairs column ``i`` directly with row ``i`` of
+        ``x_local``, so the activation block is never scattered back into the
+        global ``(num_neurons, batch)`` dimension.  The flop charge depends
+        only on sparsity structure and is identical to the global formulation
+        (weight columns outside the owned set pair with empty rows there).
+        """
         if self.x_local is None:
             raise RuntimeError("worker input was never loaded")
-        weight = self.weight_blocks[layer]
-        x_expanded = expand_rows(self.owned_rows, self.x_local, self.num_neurons)
-        flops = flop_count_spmm(weight, x_expanded)
-        self._z = weight @ x_expanded
+        kernels = self.plan.layer_kernels(layer, self.worker_id)
+        flops = flop_count_spmm(kernels.local, self.x_local)
+        self._z = accumulate_spmm(None, kernels.local, self.x_local)
         duration = self.invocation.charge_compute(flops)
         self.metrics.compute_seconds += duration
         layer_metrics.compute_seconds += duration
@@ -208,7 +217,7 @@ class FSIWorker:
         start = clock.now
         compute_during_receive = 0.0
         pending = set(self.plan.recv_map(layer, self.worker_id).keys())
-        weight = self.weight_blocks[layer]
+        kernels = self.plan.layer_kernels(layer, self.worker_id)
 
         while pending:
             before_calls = (
@@ -234,9 +243,24 @@ class FSIWorker:
                 delete_calls=after_calls[4] - before_calls[4],
             )
             for block in result.blocks:
-                received = expand_rows(block.global_rows, block.rows, self.num_neurons)
-                flops = flop_count_spmm(weight, received)
-                self._z = self._z + weight @ received
+                # Fold the block into z in arrival order.  The fast path
+                # multiplies the pre-sliced source kernel directly against the
+                # received rows (no global-dimension scatter, no full-size
+                # intermediate); it applies whenever the block carries exactly
+                # the rows the plan promised from that source, which is how
+                # both channels deliver them.  Anything else (defensive: an
+                # out-of-plan sender) falls back to the global formulation.
+                w_source = kernels.by_source.get(block.source)
+                if w_source is not None and np.array_equal(
+                    block.global_rows, kernels.recv_rows[block.source]
+                ):
+                    flops = flop_count_spmm(w_source, block.rows)
+                    self._z = accumulate_spmm(self._z, w_source, block.rows)
+                else:
+                    weight = self.weight_blocks[layer]
+                    received = expand_rows(block.global_rows, block.rows, self.num_neurons)
+                    flops = flop_count_spmm(weight, received)
+                    self._z = accumulate_spmm(self._z, weight, received)
                 duration = self.invocation.charge_compute(flops)
                 compute_during_receive += duration
                 self.metrics.bytes_received += block.bytes_received
@@ -285,8 +309,10 @@ class FSIWorker:
     def _extract_rows(self, global_rows: Sequence[int]) -> sparse.csr_matrix:
         if self.x_local is None:
             raise RuntimeError("worker input was never loaded")
-        positions = [self._local_position[int(row)] for row in global_rows]
-        return as_csr(self.x_local)[positions, :]
+        # owned_rows is ascending with x_local stored in the same order, so
+        # sorted positions are storage positions directly.
+        positions = positions_in_sorted(self.owned_rows, global_rows)
+        return gather_rows(self.x_local, positions)
 
     def _account_dynamic_memory(self) -> None:
         dynamic = 0.0

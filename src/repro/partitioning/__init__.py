@@ -3,7 +3,7 @@
 from .base import Partitioner, aggregate_connectivity, balanced_capacities
 from .hypergraph import HypergraphPartitioner, PartitionQuality, cut_weight
 from .metrics import PartitionMetrics, compare_plans, evaluate_plan
-from .plan import LayerCommMaps, PartitionPlan, build_partition_plan
+from .plan import LayerCommMaps, LayerKernels, PartitionPlan, build_partition_plan
 from .simple import ContiguousPartitioner, RandomPartitioner
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "compare_plans",
     "evaluate_plan",
     "LayerCommMaps",
+    "LayerKernels",
     "PartitionPlan",
     "build_partition_plan",
     "ContiguousPartitioner",

@@ -27,7 +27,7 @@ Algorithm (all deterministic given the seed):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 from scipy import sparse
@@ -138,9 +138,10 @@ class HypergraphPartitioner(Partitioner):
         num_clusters = min(n, num_workers * self.clusters_per_part)
         target_size = balanced_capacities(vertex_weights.sum(), num_clusters, self.epsilon)
 
-        rng = np.random.default_rng(self.seed)
         cluster_of = np.full(n, -1, dtype=np.int64)
         degree_order = np.argsort(-np.asarray(adjacency.sum(axis=1)).ravel())
+        indptr, neighbours, weights = adjacency.indptr, adjacency.indices, adjacency.data
+        in_frontier = np.zeros(n, dtype=bool)
         next_cluster = 0
 
         for seed_vertex in degree_order:
@@ -153,20 +154,56 @@ class HypergraphPartitioner(Partitioner):
             cluster_of[seed_vertex] = cluster_id
             cluster_weight = vertex_weights[seed_vertex]
 
-            # Connectivity of every vertex to the growing cluster.
+            # Connectivity of every vertex to the growing cluster, plus an
+            # explicit frontier of candidate vertices.  The previous
+            # implementation ran an argmax over all n vertices per absorbed
+            # vertex (O(n) each, O(n^2) per cluster); only vertices adjacent
+            # to the cluster can ever have positive connectivity, so the
+            # argmax needs to scan just the frontier.  Ties pick the lowest
+            # vertex index, exactly like np.argmax's first-maximum rule, and
+            # the floating-point accumulation into ``connectivity`` happens in
+            # the same per-absorption order, so the grown clusters (and the
+            # final ownership vector) are bit-for-bit identical.
             connectivity = np.zeros(n, dtype=np.float64)
-            row = adjacency.getrow(seed_vertex)
-            connectivity[row.indices] += row.data
 
-            while cluster_weight < target_size:
-                connectivity_masked = np.where(cluster_of == -1, connectivity, 0.0)
-                candidate = int(connectivity_masked.argmax())
-                if connectivity_masked[candidate] <= 0.0:
+            def absorb_neighbours(vertex: int) -> None:
+                """Fold ``vertex``'s edges into the frontier connectivity.
+
+                Only unassigned neighbours accumulate (and can enter the
+                frontier): the seed implementation added to every neighbour
+                but masked assigned vertices to 0.0 before its argmax, so
+                their connectivity values were never read -- skipping the
+                writes leaves every *read* value bit-identical.
+                """
+                nonlocal frontier
+                start, stop = indptr[vertex], indptr[vertex + 1]
+                adjacent = neighbours[start:stop]
+                unassigned_mask = cluster_of[adjacent] == -1
+                targets = adjacent[unassigned_mask]
+                connectivity[targets] += weights[start:stop][unassigned_mask]
+                fresh = targets[~in_frontier[targets]]
+                if fresh.size:
+                    in_frontier[fresh] = True
+                    frontier = np.concatenate([frontier, fresh])
+
+            frontier = np.empty(0, dtype=neighbours.dtype)
+            absorb_neighbours(seed_vertex)
+
+            while cluster_weight < target_size and frontier.size:
+                values = connectivity[frontier]
+                best = values.max()
+                if best <= 0.0:
+                    # Absorbed vertices stay in the frontier with their
+                    # connectivity zeroed (the seed masked them to 0.0 the
+                    # same way), so a non-positive maximum means no unassigned
+                    # neighbour is left -- identical break condition.
                     break
+                candidate = int(frontier[values == best].min())
                 cluster_of[candidate] = cluster_id
+                connectivity[candidate] = 0.0
                 cluster_weight += vertex_weights[candidate]
-                row = adjacency.getrow(candidate)
-                connectivity[row.indices] += row.data
+                absorb_neighbours(candidate)
+            in_frontier[frontier] = False
 
         # Any vertices left unassigned (isolated or overflow) join the lightest cluster
         # they are connected to, or round-robin if they have no connections.

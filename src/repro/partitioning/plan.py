@@ -28,7 +28,7 @@ from scipy import sparse
 from ..model import SparseDNN
 from ..sparse import RowBlock, as_csr, csr_nbytes
 
-__all__ = ["LayerCommMaps", "PartitionPlan", "build_partition_plan"]
+__all__ = ["LayerCommMaps", "LayerKernels", "PartitionPlan", "build_partition_plan"]
 
 
 @dataclass
@@ -51,6 +51,26 @@ class LayerCommMaps:
         return sum(len(worker) for worker in self.send)
 
 
+@dataclass(frozen=True)
+class LayerKernels:
+    """Compacted-column compute kernels of one (layer, worker) pair.
+
+    The simulator's hot path operates in *local* dimensions: ``local`` is the
+    worker's weight block with columns restricted (in ascending global order)
+    to the rows the worker itself owns, so it multiplies directly against the
+    worker's own activation block; ``by_source[s]`` restricts the columns to
+    the rows received from source ``s`` (in the receive-map order the channel
+    delivers them), so a received block multiplies without ever being
+    scattered back into the global neuron dimension.  Because the column
+    subsets preserve the weight's ascending column order, every product is
+    bit-for-bit identical to the seed's global-dimension formulation.
+    """
+
+    local: sparse.csr_matrix
+    by_source: Dict[int, sparse.csr_matrix]
+    recv_rows: Dict[int, np.ndarray]
+
+
 @dataclass
 class PartitionPlan:
     """The complete offline partitioning artefact for one (model, P) pair."""
@@ -61,6 +81,19 @@ class PartitionPlan:
     weight_blocks: List[List[RowBlock]]
     comm_maps: List[LayerCommMaps]
     partitioner_name: str = "unknown"
+    #: lazily-built caches; not part of the plan's identity.
+    _rows_cache: Dict[int, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _kernel_cache: Dict[tuple, LayerKernels] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: encoded staging payloads, filled by the engine; keyed by
+    #: (staged model name, compress).  Tied to the plan object so distinct
+    #: plans can never serve each other's payloads.
+    staged_payload_cache: Dict[tuple, list] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # -- structural properties ------------------------------------------------------
 
@@ -73,8 +106,34 @@ class PartitionPlan:
         return len(self.owner)
 
     def worker_rows(self, worker: int) -> np.ndarray:
-        """Global neuron rows owned by ``worker``."""
-        return np.flatnonzero(self.owner == worker)
+        """Global neuron rows owned by ``worker`` (cached; do not mutate)."""
+        rows = self._rows_cache.get(worker)
+        if rows is None:
+            rows = np.flatnonzero(self.owner == worker)
+            self._rows_cache[worker] = rows
+        return rows
+
+    def layer_kernels(self, layer: int, worker: int) -> LayerKernels:
+        """Compacted compute kernels for ``(layer, worker)`` (cached).
+
+        Slicing the weight block down to the columns it can ever pair with is
+        done once per plan and amortised across runs; the slices keep the
+        ascending column order of the original block, which preserves the
+        floating-point accumulation order of every SpMM (see
+        :class:`LayerKernels`).
+        """
+        key = (layer, worker)
+        kernels = self._kernel_cache.get(key)
+        if kernels is None:
+            weight = self.weight_blocks[layer][worker].local
+            recv = self.recv_map(layer, worker)
+            kernels = LayerKernels(
+                local=weight[:, self.worker_rows(worker)],
+                by_source={source: weight[:, rows] for source, rows in recv.items()},
+                recv_rows={source: rows for source, rows in recv.items()},
+            )
+            self._kernel_cache[key] = kernels
+        return kernels
 
     def worker_weight_nnz(self, worker: int) -> int:
         return int(sum(self.weight_blocks[k][worker].nnz for k in range(self.num_layers)))

@@ -6,10 +6,14 @@ from .matrix import (
     csr_nbytes,
     empty_csr,
     expand_rows,
+    gather_rows,
+    positions_in_sorted,
     rows_with_nonzeros,
     split_rows,
+    unsafe_csr,
 )
 from .ops import (
+    accumulate_spmm,
     activation_nnz,
     add_bias_to_nonzero_structure,
     flop_count_spmm,
@@ -24,8 +28,12 @@ __all__ = [
     "csr_nbytes",
     "empty_csr",
     "expand_rows",
+    "gather_rows",
+    "positions_in_sorted",
     "rows_with_nonzeros",
     "split_rows",
+    "unsafe_csr",
+    "accumulate_spmm",
     "activation_nnz",
     "add_bias_to_nonzero_structure",
     "flop_count_spmm",

@@ -23,6 +23,7 @@ from .matrix import as_csr
 
 __all__ = [
     "spmm",
+    "accumulate_spmm",
     "add_bias_to_nonzero_structure",
     "relu_threshold",
     "sparsify",
@@ -34,6 +35,26 @@ __all__ = [
 def spmm(weights: sparse.csr_matrix, activations: sparse.csr_matrix) -> sparse.csr_matrix:
     """Sparse matrix-matrix product ``weights @ activations`` (both CSR)."""
     return as_csr(weights) @ as_csr(activations)
+
+
+def accumulate_spmm(
+    accumulator: Optional[sparse.csr_matrix],
+    weights: sparse.csr_matrix,
+    activations: sparse.csr_matrix,
+) -> sparse.csr_matrix:
+    """``accumulator + weights @ activations`` (or just the product if ``None``).
+
+    The inference hot path folds each received activation block into the
+    running pre-activation ``z`` in arrival order.  Keeping one product and
+    one addition per block preserves the exact floating-point accumulation
+    order of the reference implementation (stacking blocks into a single
+    product would round differently), which is what makes the local-dimension
+    compute core bit-for-bit reproducible against the seed semantics.
+    """
+    product = as_csr(weights) @ as_csr(activations)
+    if accumulator is None:
+        return product
+    return accumulator + product
 
 
 def add_bias_to_nonzero_structure(

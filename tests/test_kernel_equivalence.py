@@ -1,0 +1,596 @@
+"""Equivalence tests for the local-dimension compute core.
+
+The hot-path rewrite (compacted-dimension SpMM kernels, vectorized
+``expand_rows``/row extraction, cumsum-based ``chunk_rows``, frontier-based
+cluster growing) must be *bit-for-bit* equivalent to the seed
+implementations: the virtual-clock/cost model charges by sparsity structure,
+so any deviation -- numeric or structural -- changes simulated results.
+Every test here compares the current implementation against either
+
+* a reference re-implementation of the seed algorithm (kept inline, in its
+  original per-row/per-vertex Python form), or
+* ``tests/data/seed_engine_reference.json``, exact fingerprints (hex floats
+  and sha256 digests) captured by running the seed implementation.
+"""
+
+import hashlib
+import json
+from dataclasses import fields
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro import (
+    CloudEnvironment,
+    EngineConfig,
+    FSDInference,
+    GraphChallengeConfig,
+    HypergraphPartitioner,
+    SparseDNN,
+    Variant,
+    build_graph_challenge_model,
+    generate_input_batch,
+)
+from repro.partitioning import build_partition_plan
+from repro.comm.payload import (
+    _ASSUMED_COMPRESSION,
+    _HEADER,
+    chunk_rows,
+    decode_row_payload,
+    encode_row_payload,
+    estimate_payload_bytes,
+)
+from repro.sparse import (
+    RowBlock,
+    accumulate_spmm,
+    as_csr,
+    expand_rows,
+    flop_count_spmm,
+    gather_rows,
+    unsafe_csr,
+)
+
+REFERENCE_PATH = Path(__file__).parent / "data" / "seed_engine_reference.json"
+
+
+def random_csr(rows, cols, density, seed):
+    rng = np.random.default_rng(seed)
+    return sparse.random(
+        rows, cols, density=density, format="csr", random_state=rng, dtype=np.float64
+    )
+
+
+def assert_csr_identical(left, right):
+    """Structural and numeric equality, including within-row index order."""
+    assert left.shape == right.shape
+    assert np.array_equal(left.indptr, right.indptr)
+    assert np.array_equal(left.indices, right.indices)
+    assert np.array_equal(left.data, right.data)
+
+
+# ----------------------------- seed reference implementations -----------------------------
+
+
+def seed_expand_rows(global_rows, rows, total_rows):
+    """The seed's expand_rows: per-row Python copy loop."""
+    rows = as_csr(rows)
+    global_rows = np.asarray(global_rows, dtype=np.int64)
+    indptr = np.zeros(total_rows + 1, dtype=np.int64)
+    local_counts = np.diff(rows.indptr)
+    indptr[global_rows + 1] = local_counts
+    np.cumsum(indptr, out=indptr)
+    data = np.empty(rows.nnz, dtype=rows.data.dtype)
+    indices = np.empty(rows.nnz, dtype=rows.indices.dtype)
+    order = np.argsort(global_rows, kind="stable")
+    cursor = 0
+    for local in order:
+        start, stop = rows.indptr[local], rows.indptr[local + 1]
+        size = stop - start
+        data[cursor:cursor + size] = rows.data[start:stop]
+        indices[cursor:cursor + size] = rows.indices[start:stop]
+        cursor += size
+    return sparse.csr_matrix((data, indices, indptr), shape=(total_rows, rows.shape[1]))
+
+
+def seed_chunk_boundaries(row_nnz, max_chunk_bytes):
+    """The seed's greedy per-row chunk grouping; returns [start, stop) pairs."""
+    boundaries = []
+    start = 0
+    current_rows = 0
+    current_nnz = 0.0
+    for index in range(len(row_nnz)):
+        candidate_nnz = current_nnz + row_nnz[index]
+        candidate_rows = current_rows + 1
+        estimated = estimate_payload_bytes(np.array([candidate_nnz]), candidate_rows)
+        if estimated > max_chunk_bytes and current_rows > 0:
+            boundaries.append((start, index))
+            start = index
+            current_rows = 1
+            current_nnz = float(row_nnz[index])
+        else:
+            current_rows = candidate_rows
+            current_nnz = candidate_nnz
+    boundaries.append((start, len(row_nnz)))
+    return boundaries
+
+
+def seed_grow_clusters(partitioner, adjacency, vertex_weights, num_workers):
+    """The seed's _grow_clusters: argmax over all vertices per absorption."""
+    from repro.partitioning.base import balanced_capacities
+
+    n = adjacency.shape[0]
+    num_clusters = min(n, num_workers * partitioner.clusters_per_part)
+    target_size = balanced_capacities(
+        vertex_weights.sum(), num_clusters, partitioner.epsilon
+    )
+    cluster_of = np.full(n, -1, dtype=np.int64)
+    degree_order = np.argsort(-np.asarray(adjacency.sum(axis=1)).ravel())
+    next_cluster = 0
+    for seed_vertex in degree_order:
+        if cluster_of[seed_vertex] != -1:
+            continue
+        if next_cluster >= num_clusters:
+            break
+        cluster_id = next_cluster
+        next_cluster += 1
+        cluster_of[seed_vertex] = cluster_id
+        cluster_weight = vertex_weights[seed_vertex]
+        connectivity = np.zeros(n, dtype=np.float64)
+        row = adjacency.getrow(seed_vertex)
+        connectivity[row.indices] += row.data
+        while cluster_weight < target_size:
+            connectivity_masked = np.where(cluster_of == -1, connectivity, 0.0)
+            candidate = int(connectivity_masked.argmax())
+            if connectivity_masked[candidate] <= 0.0:
+                break
+            cluster_of[candidate] = cluster_id
+            cluster_weight += vertex_weights[candidate]
+            row = adjacency.getrow(candidate)
+            connectivity[row.indices] += row.data
+    unassigned = np.flatnonzero(cluster_of == -1)
+    if unassigned.size:
+        cluster_weights = np.bincount(
+            cluster_of[cluster_of >= 0],
+            weights=vertex_weights[cluster_of >= 0],
+            minlength=max(next_cluster, 1),
+        )
+        for vertex in unassigned:
+            row = adjacency.getrow(vertex)
+            neighbour_clusters = cluster_of[row.indices]
+            neighbour_clusters = neighbour_clusters[neighbour_clusters >= 0]
+            if neighbour_clusters.size:
+                counts = np.bincount(neighbour_clusters, minlength=max(next_cluster, 1))
+                cluster_id = int(counts.argmax())
+            else:
+                cluster_id = int(cluster_weights.argmin())
+            cluster_of[vertex] = cluster_id
+            cluster_weights[cluster_id] += vertex_weights[vertex]
+    return cluster_of
+
+
+# ----------------------------- expand_rows -----------------------------
+
+
+@st.composite
+def block_and_rows(draw):
+    total = draw(st.integers(min_value=1, max_value=40))
+    cols = draw(st.integers(min_value=1, max_value=8))
+    density = draw(st.floats(min_value=0.0, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    matrix = random_csr(total, cols, density, seed)
+    subset_size = draw(st.integers(min_value=0, max_value=total))
+    rng = np.random.default_rng(seed + 1)
+    subset = rng.choice(total, size=subset_size, replace=False)
+    if draw(st.booleans()):
+        subset = np.sort(subset)
+    return matrix, subset
+
+
+@given(block_and_rows())
+@settings(max_examples=60, deadline=None)
+def test_expand_rows_matches_seed(data):
+    matrix, subset = data
+    block = matrix[subset, :]
+    expected = seed_expand_rows(subset, block, matrix.shape[0])
+    actual = expand_rows(subset, block, matrix.shape[0])
+    assert_csr_identical(expected, actual)
+    assert actual.data.dtype == expected.data.dtype
+    assert actual.indices.dtype == expected.indices.dtype
+
+
+def test_expand_rows_empty_block():
+    empty = sparse.csr_matrix((0, 4), dtype=np.float64)
+    expected = seed_expand_rows([], empty, 6)
+    actual = expand_rows([], empty, 6)
+    assert_csr_identical(expected, actual)
+
+
+def test_expand_rows_with_empty_rows_inside_block():
+    dense = np.zeros((4, 3))
+    dense[1, 2] = 5.0
+    block = sparse.csr_matrix(dense)
+    rows = np.array([7, 2, 5, 0])
+    assert_csr_identical(
+        seed_expand_rows(rows, block, 9), expand_rows(rows, block, 9)
+    )
+
+
+# ----------------------------- chunk_rows -----------------------------
+
+
+@st.composite
+def chunkable_rows(draw):
+    count = draw(st.integers(min_value=0, max_value=60))
+    cols = draw(st.integers(min_value=1, max_value=200))
+    density = draw(st.floats(min_value=0.0, max_value=0.8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    matrix = random_csr(max(count, 1), cols, density, seed)[:count, :]
+    rows = np.arange(100, 100 + count, dtype=np.int64)
+    limit = draw(st.integers(min_value=_HEADER.size + 17, max_value=6000))
+    return rows, matrix, limit
+
+
+@given(chunkable_rows())
+@settings(max_examples=60, deadline=None)
+def test_chunk_rows_matches_seed_boundaries(data):
+    rows, matrix, limit = data
+    chunks = chunk_rows(rows, matrix, max_chunk_bytes=limit, compress=True)
+    if len(rows) == 0:
+        assert len(chunks) == 1 and chunks[0].row_count == 0
+        return
+    row_nnz = np.diff(matrix.indptr)
+    expected_boundaries = seed_chunk_boundaries(row_nnz, limit)
+    # Reproduce the seed's recursive split of oversized encoded groups.
+    expected_chunks = []
+
+    def encode_group(start, stop):
+        payload = encode_row_payload(rows[start:stop], matrix[start:stop, :], True)
+        if len(payload) > limit and stop - start > 1:
+            middle = (start + stop) // 2
+            encode_group(start, middle)
+            encode_group(middle, stop)
+            return
+        expected_chunks.append((payload, stop - start, int(row_nnz[start:stop].sum())))
+
+    for start, stop in expected_boundaries:
+        encode_group(start, stop)
+    assert [(c.payload, c.row_count, c.nnz) for c in chunks] == expected_chunks
+
+
+def test_chunk_rows_single_row_chunks():
+    matrix = random_csr(8, 300, 0.9, 3)
+    rows = np.arange(8)
+    limit = _HEADER.size + 17  # too small for even one dense row estimate
+    chunks = chunk_rows(rows, matrix, max_chunk_bytes=limit)
+    assert sum(c.row_count for c in chunks) == 8
+    row_nnz = np.diff(matrix.indptr)
+    assert seed_chunk_boundaries(row_nnz, limit) == [(i, i + 1) for i in range(8)]
+
+
+def test_chunk_rows_round_trips_all_rows():
+    matrix = random_csr(40, 64, 0.4, 9)
+    rows = np.arange(200, 240)
+    chunks = chunk_rows(rows, matrix, max_chunk_bytes=2048)
+    seen_rows, seen = [], []
+    for chunk in chunks:
+        ids, part = decode_row_payload(chunk.payload)
+        seen_rows.extend(ids.tolist())
+        seen.append(part)
+    assert seen_rows == rows.tolist()
+    stacked = sparse.vstack(seen, format="csr")
+    assert_csr_identical(as_csr(matrix), stacked)
+
+
+def test_chunk_rows_empty_rowset_marker_path():
+    """Empty sends still produce one decodable chunk (the `.nul`-style path)."""
+    empty = sparse.csr_matrix((0, 16), dtype=np.float64)
+    chunks = chunk_rows([], empty, max_chunk_bytes=1024)
+    assert len(chunks) == 1
+    ids, part = decode_row_payload(chunks[0].payload)
+    assert len(ids) == 0 and part.shape == (0, 16)
+
+
+# ----------------------------- RowBlock extraction -----------------------------
+
+
+@given(block_and_rows())
+@settings(max_examples=40, deadline=None)
+def test_rowblock_extraction_matches_dict_reference(data):
+    matrix, subset = data
+    block = RowBlock(global_rows=subset, local=matrix[subset, :])
+    position = {int(g): i for i, g in enumerate(subset)}  # the seed's dict
+    rng = np.random.default_rng(int(subset.sum()) + 1)
+    if len(subset):
+        queries = rng.choice(subset, size=min(len(subset), 5), replace=False)
+        reference = matrix[subset, :][[position[int(q)] for q in queries], :]
+        assert_csr_identical(as_csr(reference), block.extract_rows(queries))
+        for q in queries:
+            assert block.owns(int(q))
+            assert block.local_index(int(q)) == position[int(q)]
+    outside = [r for r in range(matrix.shape[0]) if r not in position]
+    if outside:
+        assert not block.owns(outside[0])
+        with pytest.raises(KeyError):
+            block.extract_rows([outside[0]])
+        with pytest.raises(KeyError):
+            block.local_index(outside[0])
+
+
+def test_extract_nonempty_rows_matches_seed_and_caches():
+    local = sparse.csr_matrix(np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 0.0], [2.0, 2.0]]))
+    block = RowBlock(global_rows=np.array([4, 9, 1, 6]), local=local)
+    with_data, without_data = block.extract_nonempty_rows([1, 4, 6, 9])
+    assert with_data == [6, 9]
+    assert without_data == [1, 4]
+    # Second call hits the cached mask and must agree.
+    assert block.extract_nonempty_rows([1, 4, 6, 9]) == (with_data, without_data)
+    assert block._nonzero_mask is not None
+
+
+def test_empty_extraction_from_empty_block():
+    """Zero rows requested from a zero-row block is a valid empty extraction."""
+    block = RowBlock(
+        global_rows=np.empty(0, dtype=np.int64),
+        local=sparse.csr_matrix((0, 3), dtype=np.float64),
+    )
+    extracted = block.extract_rows([])
+    assert extracted.shape == (0, 3)
+    with pytest.raises(KeyError):
+        block.extract_rows([5])
+
+
+def test_gather_rows_matches_scipy_fancy_indexing():
+    matrix = random_csr(30, 12, 0.35, 5)
+    for positions in ([], [0], [29, 0, 7, 7, 15], list(range(30))):
+        positions = np.asarray(positions, dtype=np.int64)
+        assert_csr_identical(matrix[positions, :], gather_rows(matrix, positions))
+
+
+def test_unsafe_csr_matches_validating_constructor():
+    matrix = random_csr(10, 6, 0.5, 8)
+    rebuilt = unsafe_csr(
+        matrix.data.copy(), matrix.indices.copy(), matrix.indptr.copy(), matrix.shape
+    )
+    assert_csr_identical(matrix, rebuilt)
+    assert (rebuilt @ random_csr(6, 3, 0.5, 9)).shape == (10, 3)
+
+
+# ----------------------------- compacted compute kernels -----------------------------
+
+
+def _random_model(neurons, layers, seed):
+    rng = np.random.default_rng(seed)
+    weights = [
+        sparse.random(neurons, neurons, density=0.08, format="csr", random_state=rng)
+        for _ in range(layers)
+    ]
+    return SparseDNN(weights=weights, biases=[-0.2] * layers, name=f"rand-{seed}")
+
+
+@given(
+    st.integers(min_value=12, max_value=48),
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=25, deadline=None)
+def test_compacted_kernels_match_global_formulation(neurons, workers, seed):
+    """Per-(layer, worker) compact kernels == the seed's expand-and-multiply.
+
+    Checks flop counts and the full product bit-for-bit, for both the local
+    block and every received-source block, on randomized sparse models.
+    """
+    model = _random_model(neurons, 3, seed)
+    rng = np.random.default_rng(seed + 13)
+    owner = rng.integers(0, workers, size=neurons)
+    owner[:workers] = np.arange(workers)  # every worker owns at least one row
+    plan = build_partition_plan(model, owner, workers, partitioner_name="random")
+
+    batch = 4
+    activations = sparse.random(
+        neurons, batch, density=0.3, format="csr", random_state=rng
+    ).astype(np.float64)
+
+    for layer in range(model.num_layers):
+        for worker in range(workers):
+            kernels = plan.layer_kernels(layer, worker)
+            weight = plan.weight_blocks[layer][worker].local
+            own_rows = plan.worker_rows(worker)
+            x_own = activations[own_rows, :]
+
+            expanded = expand_rows(own_rows, x_own, neurons)
+            assert flop_count_spmm(kernels.local, x_own) == flop_count_spmm(
+                weight, expanded
+            )
+            assert_csr_identical(weight @ expanded, kernels.local @ x_own)
+
+            z_global = weight @ expanded
+            z_compact = accumulate_spmm(None, kernels.local, x_own)
+            for source, rows in plan.recv_map(layer, worker).items():
+                x_src = activations[rows, :]
+                received = expand_rows(rows, x_src, neurons)
+                assert flop_count_spmm(kernels.by_source[source], x_src) == (
+                    flop_count_spmm(weight, received)
+                )
+                z_global = z_global + weight @ received
+                z_compact = accumulate_spmm(z_compact, kernels.by_source[source], x_src)
+            assert_csr_identical(z_global, z_compact)
+
+
+# ----------------------------- hypergraph cluster growing -----------------------------
+
+
+@given(
+    st.integers(min_value=8, max_value=80),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=25, deadline=None)
+def test_grow_clusters_matches_seed(vertices, workers, seed):
+    rng = np.random.default_rng(seed)
+    raw = sparse.random(vertices, vertices, density=0.15, format="csr", random_state=rng)
+    adjacency = raw + raw.T
+    adjacency.setdiag(0)
+    adjacency.eliminate_zeros()
+    adjacency = adjacency.tocsr()
+    vertex_weights = rng.integers(1, 10, size=vertices).astype(np.float64)
+
+    partitioner = HypergraphPartitioner(seed=0)
+    expected = seed_grow_clusters(partitioner, adjacency, vertex_weights, workers)
+    actual = partitioner._grow_clusters(adjacency, vertex_weights, workers)
+    assert np.array_equal(expected, actual)
+
+
+@pytest.mark.parametrize("neurons,workers", [(96, 3), (128, 5), (192, 4)])
+def test_hypergraph_owner_deterministic_across_runs(neurons, workers):
+    config = GraphChallengeConfig(
+        neurons=neurons,
+        layers=3,
+        nnz_per_row=max(8, neurons // 32),
+        num_communities=max(16, neurons // 32),
+        community_link_fraction=0.93,
+        seed=7,
+    )
+    model = build_graph_challenge_model(config)
+    first = HypergraphPartitioner(seed=1).assign(model, workers)
+    second = HypergraphPartitioner(seed=1).assign(model, workers)
+    assert np.array_equal(first, second)
+
+
+# ----------------------------- staging cache isolation -----------------------------
+
+
+def test_same_named_models_do_not_share_staged_payloads():
+    """Two models with the same default name must not serve stale payloads.
+
+    The staged-payload cache is tied to the plan object, so a second engine
+    running a *different* model (with a colliding name) must produce its own
+    simulated results, identical to what a fresh process would compute.
+    """
+    rng = np.random.default_rng(0)
+    owner = rng.integers(0, 2, size=24)
+    owner[:2] = [0, 1]
+    batch = sparse.random(24, 3, density=0.4, format="csr", random_state=rng).astype(
+        np.float64
+    )
+
+    def run(model_seed):
+        model = _random_model(24, 2, model_seed)
+        assert model.name.startswith("rand-")
+        model.name = "sparse-dnn"  # force the collision
+        plan = build_partition_plan(model, owner, 2, partitioner_name="random")
+        engine = FSDInference(
+            CloudEnvironment(), EngineConfig(variant=Variant.OBJECT, workers=2)
+        )
+        return engine.infer(model, batch, plan)
+
+    first = run(1)
+    second = run(2)  # same process, same names, different weights
+    fresh_second = run(2)  # what an uncontaminated run computes
+    assert _csr_digest(second.output) == _csr_digest(fresh_second.output)
+    assert second.cost.total.hex() == fresh_second.cost.total.hex()
+    assert _csr_digest(first.output) != _csr_digest(second.output)
+
+
+def test_reduce_rejects_narrower_num_columns():
+    """The vectorized Reduce keeps the old error on width mismatch."""
+    from repro.cloud import VirtualClock
+    from repro.comm import ObjectChannel, ObjectChannelConfig, reduce_to_root
+
+    cloud = CloudEnvironment()
+    channel = ObjectChannel(cloud, ObjectChannelConfig(num_buckets=1))
+    channel.prepare(2)
+    contributions = {
+        0: (np.array([0, 1]), random_csr(2, 6, 0.5, 1)),
+        1: (np.array([2, 3]), random_csr(2, 6, 0.5, 2)),
+    }
+    clocks = {0: VirtualClock(0.0), 1: VirtualClock(0.0)}
+    with pytest.raises(ValueError):
+        reduce_to_root(channel, 0, 0, contributions, clocks, num_columns=3)
+
+
+# ----------------------------- end-to-end engine equivalence -----------------------------
+
+
+def _csr_digest(matrix):
+    digest = hashlib.sha256()
+    digest.update(np.asarray(matrix.shape, dtype=np.int64).tobytes())
+    digest.update(matrix.indptr.astype(np.int64).tobytes())
+    digest.update(matrix.indices.astype(np.int64).tobytes())
+    digest.update(matrix.data.astype(np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def _metric_dict(metric):
+    out = {}
+    for field in fields(metric):
+        value = getattr(metric, field.name)
+        if isinstance(value, float):
+            out[field.name] = value.hex()
+        elif isinstance(value, (int, bool, str)):
+            out[field.name] = value
+    return out
+
+
+@pytest.fixture(scope="module")
+def seed_reference():
+    return json.loads(REFERENCE_PATH.read_text())
+
+
+def test_engine_results_identical_to_seed(seed_reference):
+    """Latency, cost, outputs and all metrics are bit-for-bit the seed's.
+
+    The fixtures in ``tests/data/seed_engine_reference.json`` were captured
+    by running the pre-rewrite implementation; the virtual-time and billing
+    model charges by sparsity structure, so the local-dimension compute core
+    must reproduce every number exactly -- down to the float bit pattern.
+    """
+    for entry in seed_reference["records"]:
+        neurons, layers = entry["neurons"], entry["layers"]
+        samples, workers = entry["samples"], entry["workers"]
+        config = GraphChallengeConfig(
+            neurons=neurons,
+            layers=layers,
+            nnz_per_row=min(64, max(8, neurons // 32)),
+            num_communities=max(16, neurons // 32),
+            community_link_fraction=0.93,
+            seed=7,
+        )
+        model = build_graph_challenge_model(config)
+        batch = generate_input_batch(neurons, samples=samples, density=0.25, seed=11)
+        partitioner = HypergraphPartitioner(seed=1)
+        owner = partitioner.assign(model, workers)
+        assert (
+            hashlib.sha256(owner.astype(np.int64).tobytes()).hexdigest()
+            == entry["owner_sha256"]
+        ), "partitioner ownership diverged from the seed"
+        assert np.bincount(owner, minlength=workers).tolist() == entry["owner_bincount"]
+        plan = partitioner.partition(model, workers)
+
+        for variant_name, expected in entry["runs"].items():
+            variant = Variant(variant_name)
+            engine = FSDInference(
+                CloudEnvironment(),
+                EngineConfig(
+                    variant=variant,
+                    workers=workers if variant is not Variant.SERIAL else 1,
+                ),
+            )
+            if variant is Variant.SERIAL:
+                result = engine.infer(model, batch)
+            else:
+                result = engine.infer(model, batch, plan)
+            context = f"{variant_name} N={neurons} P={workers}"
+            assert result.latency_seconds.hex() == expected["latency_hex"], context
+            assert result.cost.total.hex() == expected["cost_total_hex"], context
+            assert _csr_digest(result.output) == expected["output_sha256"], context
+            assert int(result.output.nnz) == expected["output_nnz"], context
+            assert [
+                _metric_dict(w) for w in result.metrics.per_worker
+            ] == expected["per_worker"], context
+            assert [
+                _metric_dict(l) for l in result.metrics.per_layer
+            ] == expected["per_layer"], context
