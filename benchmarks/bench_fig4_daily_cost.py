@@ -11,8 +11,12 @@ provisioning strategies:
 * Server-Job-Scoped (a right-sized instance booted per query and billed for
   the query duration only).
 
-The benchmark measures the per-query cost of each strategy once per model
-size on the scaled workload and projects daily totals across the paper's
+Since the serving layer landed, the per-query measurements run through
+:class:`repro.serving.InferenceServer`: a small sporadic measurement trace
+(a few queries per model size) is replayed through the *identical*
+event-driven scheduler for both the FSD backend (one shared cloud timeline,
+warm-environment reuse between queries) and the job-scoped server backend,
+and the measured mean per-query costs are projected across the paper's
 query-volume sweep.  Qualitative claims checked: always-on cost is flat in
 query volume and dominates at low volumes; FSD-Inference is far cheaper than
 always-on until very high daily volumes; job-scoped is price-competitive with
@@ -22,15 +26,21 @@ FSD-Inference but (per Figure 5) at much higher latency.
 import pytest
 
 from repro import (
+    EngineConfig,
+    FSDServingBackend,
+    InferenceServer,
     OutOfMemoryError,
+    QueryWorkloadFactory,
     ServerMode,
+    ServerServingBackend,
     Variant,
     always_on_daily_cost,
+    generate_input_batch,
     generate_sporadic_workload,
-    run_server_query,
 )
 
 from common import (
+    MEMORY_OVERHEAD_MB,
     scaled_cloud,
     bench_neurons,
     bench_samples,
@@ -38,46 +48,100 @@ from common import (
     paper_equivalent,
     print_table,
     run_engine,
+    worker_memory_for,
 )
 
 #: daily sample volumes swept in Figure 4 (thousands of samples per 24 hours).
 DAILY_SAMPLE_VOLUMES = (10_000, 40_000, 160_000, 640_000, 2_560_000, 5_120_000)
+#: queries per model size in the serving-layer measurement trace.
+MEASURE_QUERIES_PER_SIZE = 3
+FSD_WORKERS = 4
 
 
-def _fsd_cost_per_query(workload):
-    """Cheapest adequate FSD-Inference variant cost for one query."""
-    costs = []
+def _cheapest_variant(workload):
+    """Cheapest adequate FSD-Inference variant for one query (probe runs)."""
+    candidates = []
     try:
         serial = run_engine(workload, Variant.SERIAL, workers=1)
-        costs.append(serial.cost.total)
+        candidates.append((serial.cost.total, Variant.SERIAL))
     except OutOfMemoryError:
         pass
-    queue = run_engine(workload, Variant.QUEUE, workers=4)
-    costs.append(queue.cost.total)
-    return min(costs)
+    queue = run_engine(workload, Variant.QUEUE, workers=FSD_WORKERS)
+    candidates.append((queue.cost.total, Variant.QUEUE))
+    return min(candidates)[1]
+
+
+def _serving_factory(workloads):
+    def batch_for(neurons: int, samples: int):
+        batch = workloads[neurons].batch
+        if samples == batch.shape[1]:
+            return batch
+        if samples < batch.shape[1]:
+            return batch[:, :samples]
+        # Tail-absorbing queries can exceed the prepared width; regenerate
+        # with the build_workload parameters rather than silently truncating.
+        return generate_input_batch(neurons, samples=samples, density=0.25, seed=11)
+
+    return QueryWorkloadFactory(
+        model_builder=lambda neurons: workloads[neurons].model,
+        batch_builder=batch_for,
+    )
 
 
 def test_fig4_daily_cost_vs_query_volume(benchmark):
     neurons_list = bench_neurons()
+    samples_per_query = bench_samples()
+    workloads = {n: build_workload(n) for n in neurons_list}
+    measurement_trace = generate_sporadic_workload(
+        daily_samples=MEASURE_QUERIES_PER_SIZE * samples_per_query * len(neurons_list),
+        batch_size=samples_per_query,
+        neuron_counts=neurons_list,
+        seed=5,
+    )
 
     def measure_per_query_costs():
-        fsd, job_scoped = {}, {}
-        for neurons in neurons_list:
-            workload = build_workload(neurons)
-            fsd[neurons] = _fsd_cost_per_query(workload)
-            job = run_server_query(
-                scaled_cloud(), workload.model, workload.batch, ServerMode.JOB_SCOPED
+        variants = {n: _cheapest_variant(workloads[n]) for n in neurons_list}
+
+        def fsd_config(neurons):
+            if variants[neurons] is Variant.SERIAL:
+                return EngineConfig(
+                    variant=Variant.SERIAL, workers=1, memory_overhead_mb=MEMORY_OVERHEAD_MB
+                )
+            return EngineConfig(
+                variant=Variant.QUEUE,
+                workers=FSD_WORKERS,
+                worker_memory_mb=worker_memory_for(neurons),
+                memory_overhead_mb=MEMORY_OVERHEAD_MB,
             )
-            job_scoped[neurons] = job.cost
-        return fsd, job_scoped
+
+        fsd_server = InferenceServer(
+            FSDServingBackend(
+                scaled_cloud(),
+                _serving_factory(workloads),
+                config_for=fsd_config,
+                plan_for=lambda n, model: workloads[n].plan_for(FSD_WORKERS),
+            )
+        )
+        fsd_report = fsd_server.serve(measurement_trace)
+
+        job_server = InferenceServer(
+            ServerServingBackend(
+                scaled_cloud(), ServerMode.JOB_SCOPED, _serving_factory(workloads)
+            )
+        )
+        job_report = job_server.serve(measurement_trace)
+        return (
+            fsd_report.mean_cost_per_query_by_neurons(),
+            job_report.mean_cost_per_query_by_neurons(),
+        )
 
     fsd_cost, job_cost = benchmark.pedantic(measure_per_query_costs, rounds=1, iterations=1)
+    assert set(fsd_cost) == set(neurons_list)
+    assert set(job_cost) == set(neurons_list)
 
     always_on = always_on_daily_cost(scaled_cloud(), instances=2, hours=24.0)
-    samples_per_query = bench_samples()
 
     rows = []
-    crossover_found = False
     for daily_samples in DAILY_SAMPLE_VOLUMES:
         workload_plan = generate_sporadic_workload(
             daily_samples, batch_size=samples_per_query, neuron_counts=neurons_list, seed=5
@@ -86,13 +150,12 @@ def test_fig4_daily_cost_vs_query_volume(benchmark):
         fsd_daily = sum(fsd_cost[n] * count for n, count in queries_by_n.items())
         job_daily = sum(job_cost[n] * count for n, count in queries_by_n.items())
         rows.append([daily_samples, fsd_daily, always_on, job_daily])
-        if fsd_daily > always_on:
-            crossover_found = True
 
     print_table(
         "Figure 4 -- daily cost ($) vs daily sample volume "
         f"(scaled query size = {samples_per_query} samples; model sizes "
-        f"{[paper_equivalent(n) for n in neurons_list]} at paper scale)",
+        f"{[paper_equivalent(n) for n in neurons_list]} at paper scale; "
+        "per-query costs measured through the serving layer)",
         ["samples/day", "FSD-Inference", "Server-Always-On", "Server-Job-Scoped"],
         rows,
     )

@@ -1,0 +1,178 @@
+"""Wall-clock + simulated-fingerprint benchmark of the serving layer.
+
+Replays a full sporadic daily workload (mixed model sizes, Poisson arrivals)
+through :class:`repro.serving.InferenceServer` on one shared
+``CloudEnvironment`` timeline and appends one record per invocation to
+``BENCH_serving.json`` at the repo root, mirroring ``bench_hotpath.py``:
+
+* the *wall-clock* seconds to replay the trace (the number perf PRs push
+  down), and
+* the *simulated* fingerprints (daily cost total, p50/p95/p99 latency,
+  cold/warm start counts, peak concurrency) which depend only on the
+  workload and the cost model, so they must stay bit-for-bit identical
+  across PRs unless the simulated semantics intentionally change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--label NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+from common import MEMORY_OVERHEAD_MB, build_workload, scaled_cloud, worker_memory_for  # noqa: E402
+
+from repro import (  # noqa: E402
+    EngineConfig,
+    FSDServingBackend,
+    InferenceServer,
+    QueryWorkloadFactory,
+    ServingConfig,
+    Variant,
+    generate_input_batch,
+    generate_sporadic_workload,
+)
+
+RESULT_PATH = _HERE.parent / "BENCH_serving.json"
+
+#: full trace: >= 100 queries of mixed model sizes over a 24 h horizon.
+FULL_NEURONS = (256, 512)
+FULL_BATCH = 16
+FULL_QUERIES = 104  # 52 queries per model size
+QUICK_NEURONS = (256,)
+QUICK_BATCH = 8
+QUICK_QUERIES = 12
+LAYERS = 6
+WORKERS = 4
+SEED = 29
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_HERE.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _build_server(neurons, batch_size):
+    """An InferenceServer over the scaled bench workloads (queue variant)."""
+    workloads = {n: build_workload(n, LAYERS, batch_size) for n in neurons}
+
+    def batch_for(n: int, samples: int):
+        batch = workloads[n].batch
+        if samples == batch.shape[1]:
+            return batch
+        if samples < batch.shape[1]:
+            return batch[:, :samples]
+        # Tail-absorbing queries can exceed the prepared width; regenerate
+        # with the build_workload parameters rather than silently truncating.
+        return generate_input_batch(n, samples=samples, density=0.25, seed=11)
+
+    factory = QueryWorkloadFactory(
+        model_builder=lambda n: workloads[n].model,
+        batch_builder=batch_for,
+    )
+    backend = FSDServingBackend(
+        scaled_cloud(),
+        factory,
+        config_for=lambda n: EngineConfig(
+            variant=Variant.QUEUE,
+            workers=WORKERS,
+            worker_memory_mb=worker_memory_for(n),
+            memory_overhead_mb=MEMORY_OVERHEAD_MB,
+        ),
+        plan_for=lambda n, model: workloads[n].plan_for(WORKERS),
+    )
+    return InferenceServer(backend, ServingConfig())
+
+
+def _replay(quick: bool) -> dict:
+    neurons = QUICK_NEURONS if quick else FULL_NEURONS
+    batch_size = QUICK_BATCH if quick else FULL_BATCH
+    num_queries = QUICK_QUERIES if quick else FULL_QUERIES
+    workload = generate_sporadic_workload(
+        daily_samples=num_queries * batch_size,
+        batch_size=batch_size,
+        neuron_counts=neurons,
+        seed=SEED,
+    )
+    server = _build_server(neurons, batch_size)
+
+    start = time.perf_counter()
+    report = server.serve(workload)
+    wall_seconds = time.perf_counter() - start
+
+    summary = report.summary()
+    return {
+        "neurons": list(neurons),
+        "batch_size": batch_size,
+        "num_queries": workload.num_queries,
+        "wall_seconds": wall_seconds,
+        "simulated": summary,
+    }
+
+
+def run(quick: bool = False, label: str | None = None) -> dict:
+    record = {
+        "label": label or _git_rev(),
+        "git_rev": _git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "replay": _replay(quick),
+    }
+
+    history = {"records": []}
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    history.setdefault("records", []).append(record)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    replay = record["replay"]
+    simulated = replay["simulated"]
+    print(f"serving benchmark -- label={record['label']} rev={record['git_rev']}")
+    print(
+        f"  {replay['num_queries']} queries over sizes {replay['neurons']}: "
+        f"replayed in {replay['wall_seconds']:.3f}s wall-clock"
+    )
+    print(
+        f"  simulated: cost ${simulated['cost_total']:.6f}, "
+        f"p50 {simulated['p50_latency_seconds']:.3f}s, "
+        f"p95 {simulated['p95_latency_seconds']:.3f}s, "
+        f"p99 {simulated['p99_latency_seconds']:.3f}s, "
+        f"{simulated['cold_start_count']} cold / {simulated['warm_start_count']} warm starts, "
+        f"peak {simulated['peak_concurrent_workers']} workers"
+    )
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small trace only (CI smoke)")
+    parser.add_argument("--label", default=None, help="trajectory label for this record")
+    args = parser.parse_args()
+    run(quick=args.quick, label=args.label)
+
+
+if __name__ == "__main__":
+    main()

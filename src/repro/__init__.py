@@ -70,6 +70,18 @@ from .costmodel import (
     validate_cost_model,
 )
 from .model import SparseDNN
+from .serving import (
+    EndpointServingBackend,
+    FSDServingBackend,
+    HPCServingBackend,
+    InferenceServer,
+    QueryRecord,
+    QueryWorkloadFactory,
+    ServerServingBackend,
+    ServingBackend,
+    ServingConfig,
+    ServingReport,
+)
 from .partitioning import (
     ContiguousPartitioner,
     HypergraphPartitioner,
@@ -80,6 +92,7 @@ from .partitioning import (
 )
 from .workloads import (
     GraphChallengeConfig,
+    InferenceQuery,
     PAPER_BATCH_SIZE,
     PAPER_LAYER_COUNT,
     PAPER_NEURON_COUNTS,
@@ -134,8 +147,20 @@ __all__ = [
     "Partitioner",
     "RandomPartitioner",
     "evaluate_plan",
+    # serving
+    "EndpointServingBackend",
+    "FSDServingBackend",
+    "HPCServingBackend",
+    "InferenceServer",
+    "QueryRecord",
+    "QueryWorkloadFactory",
+    "ServerServingBackend",
+    "ServingBackend",
+    "ServingConfig",
+    "ServingReport",
     # workloads
     "GraphChallengeConfig",
+    "InferenceQuery",
     "PAPER_BATCH_SIZE",
     "PAPER_LAYER_COUNT",
     "PAPER_NEURON_COUNTS",

@@ -81,13 +81,16 @@ def run_endpoint_query(
     model: SparseDNN,
     batch: sparse.spmatrix,
     limits: Optional[EndpointLimits] = None,
+    at_time: float = 0.0,
 ) -> EndpointQueryResult:
     """Run a batch through the managed serverless endpoint, as far as it allows.
 
     Returns a result recording how many samples could actually be processed;
     ``EndpointInfeasibleError`` is raised when not even a single sample fits
     (e.g. the model exceeds the endpoint memory), matching the paper's
-    treatment of Sage-SL-Inf for the largest networks.
+    treatment of Sage-SL-Inf for the largest networks.  ``at_time`` offsets
+    the billing timestamps onto the shared serving timeline; latency is
+    relative, so the default changes nothing.
     """
     limits = limits or EndpointLimits()
     batch = as_csr(batch)
@@ -149,7 +152,7 @@ def run_endpoint_query(
             resource=f"endpoint-{model.name}",
             quantity=1,
             cost=request_cost,
-            timestamp=total_latency,
+            timestamp=at_time + total_latency,
         )
         cursor = stop
 

@@ -128,8 +128,14 @@ def run_server_query(
     batch: sparse.spmatrix,
     mode: ServerMode,
     instance_type: Optional[str] = None,
+    at_time: float = 0.0,
 ) -> ServerQueryResult:
-    """Execute one inference query on a server baseline and bill it."""
+    """Execute one inference query on a server baseline and bill it.
+
+    ``at_time`` places the query on the shared timeline (the serving layer's
+    replay position); latencies are reported relative to it, so the default
+    of ``0.0`` reproduces the historical behaviour exactly.
+    """
     batch = as_csr(batch)
     if instance_type is None:
         instance_type = paper_server_instance(model.num_neurons, mode)
@@ -144,8 +150,8 @@ def run_server_query(
 
     always_on = mode is not ServerMode.JOB_SCOPED
     vm = cloud.vms.launch(instance_type, always_on=always_on)
-    ready_at = vm.start(at_time=0.0)
-    startup_seconds = ready_at
+    ready_at = vm.start(at_time=at_time)
+    startup_seconds = ready_at - at_time
 
     load_start = vm.clock.now
     if mode is ServerMode.ALWAYS_ON_HOT:
@@ -160,7 +166,7 @@ def run_server_query(
     vm.run_compute(_forward_flops(model, batch))
     compute_seconds = vm.clock.now - compute_start
 
-    latency = vm.clock.now
+    latency = vm.clock.now - at_time
     if mode is ServerMode.JOB_SCOPED:
         elapsed = vm.stop()
         cost = (elapsed / 3600.0) * vm.hourly_price()

@@ -36,6 +36,11 @@ class CloudEnvironment:
         prices: price book shared by every service.  Defaults to AWS-like
             prices (us-east-1, late 2023).
         faas_concurrency_limit: account-wide concurrent FaaS execution limit.
+        faas_warm_keepalive_seconds: how long an idle FaaS execution
+            environment stays reusable on a shared timeline.  ``None`` keeps
+            the legacy timeless reuse rule (single-query experiments); the
+            serving layer sets a finite keepalive so cold/warm starts depend
+            on the wall-clock gaps between invocations.
     """
 
     def __init__(
@@ -43,12 +48,17 @@ class CloudEnvironment:
         latency: Optional[LatencyModel] = None,
         prices: Optional[PriceBook] = None,
         faas_concurrency_limit: int = 1000,
+        faas_warm_keepalive_seconds: Optional[float] = None,
     ):
         self.latency = latency or LatencyModel()
         self.prices = prices or PriceBook()
         self.ledger = BillingLedger(self.prices)
         self.faas = FaaSPlatform(
-            self.ledger, self.latency, self.prices, concurrency_limit=faas_concurrency_limit
+            self.ledger,
+            self.latency,
+            self.prices,
+            concurrency_limit=faas_concurrency_limit,
+            warm_keepalive_seconds=faas_warm_keepalive_seconds,
         )
         self.pubsub = PubSubService(self.ledger, self.latency, self.prices)
         self.queues = QueueService(self.ledger, self.latency, self.prices)

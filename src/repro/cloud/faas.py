@@ -13,6 +13,16 @@ paper's design and cost model:
 * no direct instance-to-instance communication -- workers must use the
   pub/sub, queue or object-storage services for IPC.
 
+Execution environments are tracked per function as a pool of *freed-at*
+timestamps.  By default (``warm_keepalive_seconds=None``) any previously
+finished environment can be reused regardless of timing -- the historical
+single-query behaviour where every run restarts its private timeline at
+``t=0``.  When a keepalive is configured (as the serving layer does), the
+cold/warm decision becomes causal on the shared timeline: an environment is
+reusable only if it was freed *before* the new request arrives and the idle
+gap does not exceed the keepalive, which is what makes warm-start behaviour
+under sporadic daily workloads meaningful.
+
 Invocations are represented by :class:`FunctionInvocation` objects that own a
 virtual clock and expose accounting helpers (``charge_compute``,
 ``account_memory``).  Handlers that fit a simple call/return pattern (the
@@ -204,14 +214,19 @@ class FaaSPlatform:
         latency: LatencyModel,
         prices: PriceBook,
         concurrency_limit: int = 1000,
+        warm_keepalive_seconds: Optional[float] = None,
     ):
         self.ledger = ledger
         self.latency = latency
         self.prices = prices
         self.concurrency_limit = concurrency_limit
+        #: None keeps the legacy timeless reuse rule; a number makes warm
+        #: reuse depend on the idle gap between invocations (shared timeline).
+        self.warm_keepalive_seconds = warm_keepalive_seconds
         self._functions: Dict[str, FunctionConfig] = {}
         self._handlers: Dict[str, Callable[..., Any]] = {}
-        self._warm_environments: Dict[str, int] = {}
+        #: per function: freed-at timestamps of idle execution environments.
+        self._warm_environments: Dict[str, List[float]] = {}
         self._active_invocations = 0
         self._next_invocation_id = 0
         self.invocation_records: List[InvocationRecord] = []
@@ -228,7 +243,7 @@ class FaaSPlatform:
         self._functions[config.name] = config
         if handler is not None:
             self._handlers[config.name] = handler
-        self._warm_environments[config.name] = 0
+        self._warm_environments[config.name] = []
         return config
 
     def get_function(self, name: str) -> FunctionConfig:
@@ -281,11 +296,11 @@ class FaaSPlatform:
             request_time = 0.0
 
         if force_cold is None:
-            cold = self._warm_environments.get(name, 0) <= 0
+            cold = not self._claim_warm_environment(name, request_time)
         else:
             cold = force_cold
-        if not cold:
-            self._warm_environments[name] -= 1
+            if not cold:
+                self._claim_warm_environment(name, request_time)
 
         startup = self.latency.faas_startup(cold, config.memory_mb + config.package_mb)
         invocation = FunctionInvocation(
@@ -324,12 +339,39 @@ class FaaSPlatform:
         invocation.finish()
         return result
 
+    def _claim_warm_environment(self, name: str, request_time: float) -> bool:
+        """Take one idle execution environment, if the timeline allows it.
+
+        With no keepalive configured, any previously finished environment is
+        reusable (the legacy private-timeline rule).  With a keepalive, an
+        environment qualifies only when it was freed at or before
+        ``request_time`` and has idled no longer than the keepalive; expired
+        entries are evicted and the most recently freed qualifying
+        environment is claimed (LIFO, as real FaaS platforms reuse).
+        """
+        pool = self._warm_environments.get(name)
+        if not pool:
+            return False
+        keepalive = self.warm_keepalive_seconds
+        if keepalive is None:
+            pool.pop()
+            return True
+        pool[:] = [freed_at for freed_at in pool if request_time - freed_at <= keepalive]
+        best = -1
+        for index, freed_at in enumerate(pool):
+            if freed_at <= request_time and (best < 0 or freed_at > pool[best]):
+                best = index
+        if best < 0:
+            return False
+        pool.pop(best)
+        return True
+
     # -- bookkeeping ------------------------------------------------------------------
 
     def _record_invocation(self, invocation: FunctionInvocation) -> None:
         self._active_invocations = max(0, self._active_invocations - 1)
-        self._warm_environments[invocation.function_name] = (
-            self._warm_environments.get(invocation.function_name, 0) + 1
+        self._warm_environments.setdefault(invocation.function_name, []).append(
+            invocation.clock.now
         )
         gb_seconds = (invocation.config.memory_mb / 1024.0) * invocation.runtime_seconds
         cost = (
@@ -371,5 +413,11 @@ class FaaSPlatform:
     def active_invocations(self) -> int:
         return self._active_invocations
 
-    def warm_environment_count(self, name: str) -> int:
-        return self._warm_environments.get(name, 0)
+    def warm_environment_count(self, name: str, at_time: Optional[float] = None) -> int:
+        """Idle environments of ``name``; with ``at_time``, only those a
+        request arriving then could actually reuse under the keepalive rule."""
+        pool = self._warm_environments.get(name, [])
+        if at_time is None or self.warm_keepalive_seconds is None:
+            return len(pool)
+        keepalive = self.warm_keepalive_seconds
+        return sum(1 for freed_at in pool if freed_at <= at_time and at_time - freed_at <= keepalive)

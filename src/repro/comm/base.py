@@ -70,6 +70,20 @@ class ChannelStats:
             setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
 
+    def snapshot(self) -> "ChannelStats":
+        """An immutable-by-convention copy of the counters at this instant."""
+        copied = ChannelStats()
+        for name in vars(copied):
+            setattr(copied, name, getattr(self, name))
+        return copied
+
+    def delta(self, since: "ChannelStats") -> "ChannelStats":
+        """Counter increments accumulated after the ``since`` snapshot."""
+        diff = ChannelStats()
+        for name in vars(diff):
+            setattr(diff, name, getattr(self, name) - getattr(since, name))
+        return diff
+
 
 @dataclass(frozen=True)
 class ReceivedBlock:

@@ -16,6 +16,8 @@ fine-grained per-layer/per-worker metrics used by the cost-model validator.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -30,6 +32,7 @@ from ..cloud import (
     VirtualClock,
 )
 from ..comm import (
+    ChannelStats,
     CommChannel,
     ObjectChannel,
     ObjectChannelConfig,
@@ -53,7 +56,13 @@ __all__ = ["InferenceResult", "FSDInference"]
 
 @dataclass
 class InferenceResult:
-    """Everything produced by one inference run."""
+    """Everything produced by one inference run.
+
+    ``latency_seconds`` is always measured relative to the request time, so
+    results are directly comparable whether the query ran on a private
+    ``t=0`` timeline or arrived mid-way through a shared serving timeline
+    (``started_at``/``finished_at`` carry the absolute placement).
+    """
 
     output: sparse.csr_matrix
     latency_seconds: float
@@ -63,6 +72,13 @@ class InferenceResult:
     cost: CostReport
     metrics: InferenceMetrics
     launch: Optional[LaunchResult] = None
+    #: absolute virtual time at which the request was issued.
+    started_at: float = 0.0
+    #: absolute virtual time at which the output was assembled.
+    finished_at: Optional[float] = None
+    #: snapshot of the communication channel counters for this run (None for
+    #: the serial variant, which performs no inter-worker communication).
+    channel_stats: Optional[ChannelStats] = None
 
     @property
     def per_sample_seconds(self) -> float:
@@ -96,6 +112,33 @@ class InferenceResult:
         return float(np.abs(difference.data).max()) <= tolerance
 
 
+#: Content-addressed LRU memo of encoded serial input payloads.  Benchmark
+#: sweeps and serving replays stage the same batch over and over through
+#: fresh engines, so keying by batch *content* (not object identity) turns
+#: the repeated encode+deflate into a digest lookup with byte-identical
+#: results.  Bounded so pathological sweeps cannot hold every batch alive.
+_SERIAL_INPUT_PAYLOADS: "OrderedDict[bytes, bytes]" = OrderedDict()
+_SERIAL_INPUT_PAYLOAD_ENTRIES = 64
+
+
+def _batch_content_key(batch: sparse.csr_matrix, compress: bool) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.int64(batch.shape[0]).tobytes())
+    digest.update(np.int64(batch.shape[1]).tobytes())
+    digest.update(np.ascontiguousarray(batch.indptr).tobytes())
+    digest.update(np.ascontiguousarray(batch.indices).tobytes())
+    digest.update(np.ascontiguousarray(batch.data).tobytes())
+    digest.update(b"Z" if compress else b"R")
+    return digest.digest()
+
+
+def _serial_input_memo_put(key: bytes, payload: bytes) -> None:
+    _SERIAL_INPUT_PAYLOADS[key] = payload
+    _SERIAL_INPUT_PAYLOADS.move_to_end(key)
+    while len(_SERIAL_INPUT_PAYLOADS) > _SERIAL_INPUT_PAYLOAD_ENTRIES:
+        _SERIAL_INPUT_PAYLOADS.popitem(last=False)
+
+
 class FSDInference:
     """Fully Serverless Distributed Inference engine (paper Section III)."""
 
@@ -126,15 +169,25 @@ class FSDInference:
         batch: sparse.spmatrix,
         plan: Optional[PartitionPlan] = None,
         partitioner: Optional[Partitioner] = None,
+        at_time: float = 0.0,
     ) -> InferenceResult:
-        """Run one batch of inference and return the result with cost/metrics."""
+        """Run one batch of inference and return the result with cost/metrics.
+
+        ``at_time`` places the request on the cloud's shared timeline: the
+        coordinator (or the serial instance) is invoked then, every launch,
+        message and billing timestamp follows from that point, and the
+        returned latency/cost are relative to it.  The default of ``0.0``
+        reproduces the historical private-timeline behaviour exactly.
+        """
+        if at_time < 0.0:
+            raise ValueError(f"at_time cannot be negative, got {at_time}")
         batch = as_csr(batch).astype(np.float64)
         if batch.shape[0] != model.num_neurons:
             raise ValueError(
                 f"batch has {batch.shape[0]} rows but the model has {model.num_neurons} neurons"
             )
         if self.config.variant is Variant.SERIAL:
-            return self._infer_serial(model, batch)
+            return self._infer_serial(model, batch, at_time)
 
         if plan is None:
             plan = self.partition(model, partitioner)
@@ -143,11 +196,13 @@ class FSDInference:
                 f"plan was built for {plan.num_workers} workers but the engine is "
                 f"configured for {self.config.workers}"
             )
-        return self._infer_distributed(model, batch, plan)
+        return self._infer_distributed(model, batch, plan, at_time)
 
     # -- serial variant --------------------------------------------------------------------
 
-    def _infer_serial(self, model: SparseDNN, batch: sparse.csr_matrix) -> InferenceResult:
+    def _infer_serial(
+        self, model: SparseDNN, batch: sparse.csr_matrix, at_time: float = 0.0
+    ) -> InferenceResult:
         bucket = self.cloud.object_storage.get_or_create_bucket(self.config.data_bucket)
         layout = StagedDataLayout(
             bucket_name=bucket.name,
@@ -161,7 +216,7 @@ class FSDInference:
         self._ensure_function(function_name, self.config.serial_memory_mb)
 
         checkpoint = self.cloud.billing_checkpoint()
-        invocation = self.cloud.faas.start_invocation(function_name, at_time=0.0)
+        invocation = self.cloud.faas.start_invocation(function_name, at_time=at_time)
         metrics = InferenceMetrics(
             variant=Variant.SERIAL.value,
             num_workers=1,
@@ -211,12 +266,14 @@ class FSDInference:
 
         return InferenceResult(
             output=as_csr(activations),
-            latency_seconds=invocation.clock.now,
+            latency_seconds=invocation.clock.now - at_time,
             batch_size=batch.shape[1],
             variant=Variant.SERIAL,
             num_workers=1,
             cost=self.cloud.report_since(checkpoint),
             metrics=metrics,
+            started_at=at_time,
+            finished_at=invocation.clock.now,
         )
 
     # -- distributed variants -------------------------------------------------------------------
@@ -226,6 +283,7 @@ class FSDInference:
         model: SparseDNN,
         batch: sparse.csr_matrix,
         plan: PartitionPlan,
+        at_time: float = 0.0,
     ) -> InferenceResult:
         num_workers = plan.num_workers
         bucket = self.cloud.object_storage.get_or_create_bucket(self.config.data_bucket)
@@ -263,7 +321,7 @@ class FSDInference:
         )
 
         # Coordinator: parse the request and invoke the root worker.
-        coordinator = self.cloud.faas.start_invocation(coordinator_fn, at_time=0.0)
+        coordinator = self.cloud.faas.start_invocation(coordinator_fn, at_time=at_time)
         coordinator.charge_duration(0.005)
         launch = launch_worker_tree(
             self.cloud.faas,
@@ -272,7 +330,7 @@ class FSDInference:
             self.config.branching_factor,
             coordinator.clock,
         )
-        metrics.coordinator_seconds = coordinator.clock.now
+        metrics.coordinator_seconds = coordinator.clock.now - at_time
         coordinator.finish()
         metrics.launch_seconds = launch.launch_span_seconds
 
@@ -313,7 +371,7 @@ class FSDInference:
         clocks = {worker.worker_id: worker.invocation.clock for worker in workers}
         barrier(list(clocks.values()))
         reduce_start = clocks[0].now
-        stats_before_reduce = channel.stats.merge(type(channel.stats)())
+        stats_before_reduce = channel.stats.snapshot()
         contributions = {
             worker.worker_id: worker.final_contribution() for worker in workers
         }
@@ -328,22 +386,24 @@ class FSDInference:
         )
         output = self._pad_rows(output, model.num_neurons)
         metrics.reduce_seconds = clocks[0].now - reduce_start
+        reduce_delta = channel.stats.delta(stats_before_reduce)
         metrics.reduce_comm = LayerMetrics(
             layer=model.num_layers,
-            bytes_sent=channel.stats.bytes_sent - stats_before_reduce.bytes_sent,
-            bytes_received=channel.stats.bytes_received - stats_before_reduce.bytes_received,
-            nnz_sent=channel.stats.payload_nnz_sent - stats_before_reduce.payload_nnz_sent,
-            messages_sent=channel.stats.messages_sent - stats_before_reduce.messages_sent,
-            publish_calls=channel.stats.publish_calls - stats_before_reduce.publish_calls,
-            poll_calls=channel.stats.poll_calls - stats_before_reduce.poll_calls,
-            empty_polls=channel.stats.empty_polls - stats_before_reduce.empty_polls,
-            put_calls=channel.stats.put_calls - stats_before_reduce.put_calls,
-            get_calls=channel.stats.get_calls - stats_before_reduce.get_calls,
-            list_calls=channel.stats.list_calls - stats_before_reduce.list_calls,
-            delete_calls=channel.stats.delete_calls - stats_before_reduce.delete_calls,
+            bytes_sent=reduce_delta.bytes_sent,
+            bytes_received=reduce_delta.bytes_received,
+            nnz_sent=reduce_delta.payload_nnz_sent,
+            messages_sent=reduce_delta.messages_sent,
+            publish_calls=reduce_delta.publish_calls,
+            poll_calls=reduce_delta.poll_calls,
+            empty_polls=reduce_delta.empty_polls,
+            put_calls=reduce_delta.put_calls,
+            get_calls=reduce_delta.get_calls,
+            list_calls=reduce_delta.list_calls,
+            delete_calls=reduce_delta.delete_calls,
             send_seconds=metrics.reduce_seconds,
         )
-        latency = clocks[0].now
+        finished_at = clocks[0].now
+        latency = finished_at - at_time
 
         timeouts: List[FunctionTimeoutError] = []
         for worker in workers:
@@ -362,6 +422,9 @@ class FSDInference:
             cost=self.cloud.report_since(checkpoint),
             metrics=metrics,
             launch=launch,
+            started_at=at_time,
+            finished_at=finished_at,
+            channel_stats=channel.stats.snapshot(),
         )
         if timeouts:
             # Surface the first timeout; callers treat it like the paper treats
@@ -384,14 +447,34 @@ class FSDInference:
         assumed to already live in object storage when a request arrives), so
         it is neither timed nor billed; the per-request GETs that read the
         data back *are*.
+
+        The encoded payloads are pure functions of the model/batch contents,
+        so they are cached -- the full-model payloads on the model object
+        (mirroring the distributed ``staged_payload_cache`` on the plan) and
+        the input payload in a content-addressed memo -- so benchmark sweeps
+        and serving replays that re-stage the same data skip the re-encode.
         """
         all_rows = np.arange(model.num_neurons, dtype=np.int64)
         if model.name not in self._staged_serial_models:
-            for layer, weight in enumerate(model.weights):
-                payload = encode_row_payload(all_rows, weight, compress=self.config.compress)
-                bucket.preload_object(layout.full_model_key(layer), payload)
+            encoded_key = ("serial-full", self.config.compress)
+            encoded = model.staged_payload_cache.get(encoded_key)
+            if encoded is None:
+                encoded = [
+                    (
+                        layout.full_model_key(layer),
+                        encode_row_payload(all_rows, weight, compress=self.config.compress),
+                    )
+                    for layer, weight in enumerate(model.weights)
+                ]
+                model.staged_payload_cache[encoded_key] = encoded
+            for key, payload in encoded:
+                bucket.preload_object(key, payload)
             self._staged_serial_models.add(model.name)
-        payload = encode_row_payload(all_rows, batch, compress=self.config.compress)
+        content_key = _batch_content_key(batch, self.config.compress)
+        payload = _SERIAL_INPUT_PAYLOADS.get(content_key)
+        if payload is None:
+            payload = encode_row_payload(all_rows, batch, compress=self.config.compress)
+            _serial_input_memo_put(content_key, payload)
         bucket.preload_object(layout.full_input_key(), payload)
 
     def _stage_distributed(

@@ -110,14 +110,22 @@ def launch_worker_tree(
     function_name: str,
     num_workers: int,
     branching_factor: int,
-    coordinator_clock: VirtualClock,
+    coordinator_clock: Optional[VirtualClock] = None,
+    at_time: float = 0.0,
 ) -> LaunchResult:
     """Launch ``num_workers`` invocations of ``function_name`` hierarchically.
 
     The coordinator invokes worker 0; every worker then invokes its children
     before doing anything else, advancing its own clock by the invoke API
     latency per child (exactly the cost the paper's mechanism pays).
+
+    The launch is reentrant over the shared timeline: pass the coordinator's
+    clock (already positioned at the request time), or ``at_time`` alone to
+    launch a standalone tree starting then.  Launch spans and per-worker
+    start offsets are invariant under time translation.
     """
+    if coordinator_clock is None:
+        coordinator_clock = VirtualClock(at_time)
     tree = LaunchTree(num_workers=num_workers, branching_factor=branching_factor)
     invocations: List[Optional[FunctionInvocation]] = [None] * num_workers
 

@@ -1,0 +1,40 @@
+"""Request-level serving layer: replay sporadic workloads on one shared cloud.
+
+``InferenceServer`` + a ``ServingBackend`` turn the single-query simulator
+into a day-scale serving system: arrival traces from
+:mod:`repro.workloads.sporadic` replay through one
+:class:`~repro.cloud.CloudEnvironment` timeline with warm-environment reuse,
+admission control and per-query + aggregate reporting.
+"""
+
+from .backends import (
+    EndpointServingBackend,
+    FSDServingBackend,
+    HPCServingBackend,
+    QueryOutcome,
+    QueryWorkloadFactory,
+    ServerServingBackend,
+    ServingBackend,
+)
+from .server import (
+    InferenceServer,
+    QueryRecord,
+    ServingConfig,
+    ServingReport,
+    peak_overlap,
+)
+
+__all__ = [
+    "EndpointServingBackend",
+    "FSDServingBackend",
+    "HPCServingBackend",
+    "QueryOutcome",
+    "QueryWorkloadFactory",
+    "ServerServingBackend",
+    "ServingBackend",
+    "InferenceServer",
+    "QueryRecord",
+    "ServingConfig",
+    "ServingReport",
+    "peak_overlap",
+]

@@ -1,0 +1,257 @@
+"""The event-driven inference server: one cloud, one timeline, a whole day.
+
+The paper's sporadic-workload argument (Section VI-C, Figure 4) is about
+*populations* of queries -- hundreds of mixed-size requests arriving over 24
+hours -- yet a single ``FSDInference.infer`` call simulates one query on a
+private timeline that starts at ``t=0``.  :class:`InferenceServer` closes
+that gap: it replays a :class:`~repro.workloads.SporadicWorkload` arrival
+trace through **one shared** :class:`~repro.cloud.CloudEnvironment`, so
+
+* every invocation, message and billing record lands at its true absolute
+  time,
+* FaaS execution environments stay warm (or expire) according to the real
+  gaps between queries,
+* admission can bound how many queries run concurrently, delaying excess
+  arrivals until a slot frees, and
+* the output is both per-query (latency decomposition, cost, cold starts)
+  and aggregate (daily :class:`CostReport`, p50/p95/p99 latency, peak
+  concurrency).
+
+Invariant: replaying a single query arriving at ``t=0`` on a cold pool is
+*exactly* ``FSDInference.infer`` -- same output bytes, latency, cost and
+metrics -- so everything validated against the single-query engine transfers
+to the serving layer unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..cloud import CostReport
+from ..comm import ChannelStats
+from ..workloads import SporadicWorkload
+from .backends import ServingBackend
+
+__all__ = [
+    "ServingConfig",
+    "QueryRecord",
+    "ServingReport",
+    "InferenceServer",
+    "peak_overlap",
+]
+
+
+def peak_overlap(intervals: Iterable[Tuple[float, float]]) -> int:
+    """Maximum number of simultaneously active ``(start, end)`` intervals.
+
+    Touching endpoints do not overlap: an interval ending exactly when
+    another starts releases its slot first.
+    """
+    events: List[Tuple[float, int]] = []
+    for start, end in intervals:
+        events.append((start, 1))
+        events.append((end, -1))
+    events.sort(key=lambda event: (event[0], event[1]))
+    active = peak = 0
+    for _, delta in events:
+        active += delta
+        peak = max(peak, active)
+    return peak
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Admission/scheduling knobs of the serving layer."""
+
+    #: maximum queries in flight at once; arrivals beyond it queue until a
+    #: running query completes.  ``None`` admits every arrival immediately.
+    max_concurrent_queries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_queries is not None and self.max_concurrent_queries < 1:
+            raise ValueError("max_concurrent_queries must be at least 1 (or None)")
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Timeline placement and outcome of one replayed query."""
+
+    query_id: int
+    neurons: int
+    samples: int
+    arrival_time: float
+    started_at: float
+    finished_at: float
+    cost: float
+    cold_starts: int
+    warm_starts: int
+
+    @property
+    def queue_delay_seconds(self) -> float:
+        """Time spent waiting for admission before execution began."""
+        return self.started_at - self.arrival_time
+
+    @property
+    def service_seconds(self) -> float:
+        """Execution latency once admitted (the backend's query latency)."""
+        return self.finished_at - self.started_at
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end latency the client observes (queueing + service)."""
+        return self.finished_at - self.arrival_time
+
+
+@dataclass
+class ServingReport:
+    """Per-query and aggregate results of replaying one workload."""
+
+    backend: str
+    config: ServingConfig
+    horizon_seconds: float
+    records: List[QueryRecord]
+    cost: CostReport
+    peak_concurrent_queries: int
+    peak_concurrent_workers: int
+    channel_stats: ChannelStats = field(default_factory=ChannelStats)
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(record.samples for record in self.records)
+
+    @property
+    def cold_start_count(self) -> int:
+        return sum(record.cold_starts for record in self.records)
+
+    @property
+    def warm_start_count(self) -> int:
+        return sum(record.warm_starts for record in self.records)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """From the first arrival to the last completion."""
+        if not self.records:
+            return 0.0
+        first = min(record.arrival_time for record in self.records)
+        last = max(record.finished_at for record in self.records)
+        return last - first
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not self.records:
+            return 0.0
+        latencies = np.asarray([record.latency_seconds for record in self.records])
+        return float(np.percentile(latencies, percentile))
+
+    @property
+    def p50_latency_seconds(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_seconds(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency_seconds(self) -> float:
+        return self.latency_percentile(99.0)
+
+    def records_by_neurons(self) -> Dict[int, List[QueryRecord]]:
+        grouped: Dict[int, List[QueryRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.neurons, []).append(record)
+        return grouped
+
+    def mean_cost_per_query_by_neurons(self) -> Dict[int, float]:
+        """Average measured per-query cost per model size (Figure-4 input)."""
+        return {
+            neurons: sum(record.cost for record in records) / len(records)
+            for neurons, records in self.records_by_neurons().items()
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Flat, JSON-friendly aggregate view (benchmark fingerprints)."""
+        return {
+            "backend": self.backend,
+            "num_queries": self.num_queries,
+            "total_samples": self.total_samples,
+            "cost_total": self.cost.total,
+            "p50_latency_seconds": self.p50_latency_seconds,
+            "p95_latency_seconds": self.p95_latency_seconds,
+            "p99_latency_seconds": self.p99_latency_seconds,
+            "makespan_seconds": self.makespan_seconds,
+            "cold_start_count": self.cold_start_count,
+            "warm_start_count": self.warm_start_count,
+            "peak_concurrent_queries": self.peak_concurrent_queries,
+            "peak_concurrent_workers": self.peak_concurrent_workers,
+        }
+
+
+class InferenceServer:
+    """Replays a sporadic workload through a backend on one shared timeline."""
+
+    def __init__(self, backend: ServingBackend, config: Optional[ServingConfig] = None):
+        self.backend = backend
+        self.config = config or ServingConfig()
+
+    def serve(self, workload: SporadicWorkload) -> ServingReport:
+        """Replay every query of ``workload`` in arrival order.
+
+        Queries are admitted at their arrival time unless the concurrency
+        bound is saturated, in which case they start when the earliest
+        in-flight query completes.  Admission times are non-decreasing, so
+        the FaaS warm pool observes a causally consistent request sequence.
+        """
+        self.backend.begin(workload)
+        in_flight: List[float] = []  # completion-time min-heap
+        records: List[QueryRecord] = []
+        channel_total = ChannelStats()
+        limit = self.config.max_concurrent_queries
+
+        for query in workload.iter_trace():
+            start = query.arrival_time
+            while in_flight and in_flight[0] <= start:
+                heapq.heappop(in_flight)
+            if limit is not None:
+                while len(in_flight) >= limit:
+                    start = max(start, heapq.heappop(in_flight))
+            outcome = self.backend.execute(query, at_time=start)
+            finished = start + outcome.latency_seconds
+            heapq.heappush(in_flight, finished)
+            if outcome.channel_stats is not None:
+                channel_total = channel_total.merge(outcome.channel_stats)
+            records.append(
+                QueryRecord(
+                    query_id=query.query_id,
+                    neurons=query.neurons,
+                    samples=query.samples,
+                    arrival_time=query.arrival_time,
+                    started_at=start,
+                    finished_at=finished,
+                    cost=outcome.cost,
+                    cold_starts=outcome.cold_starts,
+                    warm_starts=outcome.warm_starts,
+                )
+            )
+
+        cost = self.backend.finish()
+        return ServingReport(
+            backend=self.backend.name,
+            config=self.config,
+            horizon_seconds=workload.horizon_seconds,
+            records=records,
+            cost=cost,
+            peak_concurrent_queries=peak_overlap(
+                (record.started_at, record.finished_at) for record in records
+            ),
+            peak_concurrent_workers=peak_overlap(self.backend.worker_intervals()),
+            channel_stats=channel_total,
+        )

@@ -14,7 +14,7 @@ the configured neuron counts, and arrival times drawn from a Poisson process
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +72,26 @@ class SporadicWorkload:
             peak = max(peak, concurrent)
         return peak
 
+    # -- trace replay hooks ----------------------------------------------------
+
+    def iter_trace(self) -> Iterator[InferenceQuery]:
+        """Yield the queries in arrival order (the serving layer's replay order)."""
+        return iter(sorted(self.queries, key=lambda q: (q.arrival_time, q.query_id)))
+
+    def interarrival_seconds(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (what drives cold/warm behaviour)."""
+        times = np.sort(np.asarray([q.arrival_time for q in self.queries], dtype=np.float64))
+        if times.size == 0:
+            return times
+        return np.diff(times, prepend=0.0)
+
+    def head(self, num_queries: int) -> "SporadicWorkload":
+        """The first ``num_queries`` arrivals as a workload (smoke-sized replays)."""
+        if num_queries < 1:
+            raise ValueError("head needs at least one query")
+        selected = list(self.iter_trace())[:num_queries]
+        return SporadicWorkload(queries=selected, horizon_seconds=self.horizon_seconds)
+
 
 def generate_sporadic_workload(
     daily_samples: int,
@@ -85,7 +105,10 @@ def generate_sporadic_workload(
     Queries are ``batch_size`` samples each (the last query of each model size
     absorbs the remainder), matching the paper's Figure 4 setup where the
     daily query volume is "evenly spread between N = 1024, 4096, 16384 and
-    65536".
+    65536".  "Evenly" holds for the cross-model split too: when
+    ``daily_samples`` does not divide by the number of model sizes, the extra
+    samples are spread one per model size (never dumped on a single size), so
+    no two sizes differ by more than one sample.
     """
     if daily_samples < 1:
         raise ValueError("daily_samples must be positive")
@@ -101,11 +124,17 @@ def generate_sporadic_workload(
     queries: List[InferenceQuery] = []
     query_id = 0
     for index, neurons in enumerate(neuron_counts):
-        samples_for_model = per_model + (remainder if index == 0 else 0)
+        samples_for_model = per_model + (1 if index < remainder else 0)
         if samples_for_model == 0:
             continue
         full_queries, tail = divmod(samples_for_model, batch_size)
-        sizes = [batch_size] * full_queries + ([tail] if tail else [])
+        if full_queries == 0:
+            sizes = [tail]
+        else:
+            # The last query absorbs the sub-batch remainder instead of
+            # spawning an extra undersized query.
+            sizes = [batch_size] * full_queries
+            sizes[-1] += tail
         arrival_times = np.sort(rng.uniform(0.0, horizon_seconds, size=len(sizes)))
         for size, arrival in zip(sizes, arrival_times):
             queries.append(

@@ -1,0 +1,388 @@
+"""Tests for the shared-timeline serving layer (and its engine refactor).
+
+Covers the three invariants the serving subsystem is built on:
+
+1. *Identity*: a single query replayed at ``t=0`` on a cold pool is
+   bit-for-bit the same as calling ``FSDInference.infer`` directly.
+2. *Time-translation*: launch spans, runtimes and cost deltas of an
+   invocation started at ``at_time=T`` equal those at ``t=0``.
+3. *Causal warm reuse*: on a shared timeline, warm starts happen exactly
+   when an execution environment sat idle for less than the keepalive --
+   and are billed as warm (not cold) starts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CloudEnvironment,
+    EngineConfig,
+    FSDInference,
+    FSDServingBackend,
+    GraphChallengeConfig,
+    HypergraphPartitioner,
+    InferenceQuery,
+    InferenceServer,
+    QueryWorkloadFactory,
+    ServingConfig,
+    SporadicWorkload,
+    Variant,
+    build_graph_challenge_model,
+    generate_input_batch,
+    generate_sporadic_workload,
+)
+from repro.comm import ChannelStats
+from repro.core.launch import launch_worker_tree
+from repro.serving import peak_overlap
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    config = GraphChallengeConfig(
+        neurons=64, layers=2, nnz_per_row=4, num_communities=4, seed=7
+    )
+    return build_graph_challenge_model(config)
+
+
+def _serial_backend(cloud, model, warm_keepalive_seconds=900.0):
+    factory = QueryWorkloadFactory(model_builder=lambda neurons: model)
+    return FSDServingBackend(
+        cloud,
+        factory,
+        config_for=lambda neurons: EngineConfig(variant=Variant.SERIAL, workers=1),
+        warm_keepalive_seconds=warm_keepalive_seconds,
+    )
+
+
+class TestSingleQueryIdentity:
+    def test_served_query_bit_identical_to_direct_infer(
+        self, small_model, small_batch, small_plan
+    ):
+        """Serving one query at t=0 on a cold pool IS FSDInference.infer."""
+        direct_engine = FSDInference(
+            CloudEnvironment(), EngineConfig(variant=Variant.QUEUE, workers=4)
+        )
+        direct = direct_engine.infer(small_model, small_batch, small_plan)
+
+        backend = FSDServingBackend(
+            CloudEnvironment(),
+            QueryWorkloadFactory(
+                model_builder=lambda neurons: small_model,
+                batch_builder=lambda neurons, samples: small_batch,
+            ),
+            config_for=lambda neurons: EngineConfig(variant=Variant.QUEUE, workers=4),
+            plan_for=lambda neurons, model: small_plan,
+        )
+        workload = SporadicWorkload(
+            queries=[
+                InferenceQuery(
+                    query_id=0,
+                    arrival_time=0.0,
+                    neurons=small_model.num_neurons,
+                    samples=small_batch.shape[1],
+                )
+            ]
+        )
+        outcome = backend.execute(workload.queries[0], at_time=0.0)
+        served = outcome.result
+
+        np.testing.assert_array_equal(served.output.indptr, direct.output.indptr)
+        np.testing.assert_array_equal(served.output.indices, direct.output.indices)
+        np.testing.assert_array_equal(served.output.data, direct.output.data)
+        assert served.latency_seconds == direct.latency_seconds
+        assert served.cost.total == direct.cost.total
+        assert served.cost.by_service == direct.cost.by_service
+        assert served.metrics.batch_summary() == direct.metrics.batch_summary()
+        assert served.metrics.per_layer_table() == direct.metrics.per_layer_table()
+
+    def test_server_records_match_backend_outcome(self, small_model, small_batch, small_plan):
+        backend = FSDServingBackend(
+            CloudEnvironment(),
+            QueryWorkloadFactory(
+                model_builder=lambda neurons: small_model,
+                batch_builder=lambda neurons, samples: small_batch,
+            ),
+            config_for=lambda neurons: EngineConfig(variant=Variant.QUEUE, workers=4),
+            plan_for=lambda neurons, model: small_plan,
+        )
+        workload = SporadicWorkload(
+            queries=[
+                InferenceQuery(0, 0.0, small_model.num_neurons, small_batch.shape[1])
+            ]
+        )
+        report = InferenceServer(backend).serve(workload)
+        record = report.records[0]
+        assert record.started_at == 0.0
+        assert record.queue_delay_seconds == 0.0
+        assert record.service_seconds == record.latency_seconds
+        assert report.cost.total == pytest.approx(record.cost)
+        assert report.channel_stats.messages_sent > 0
+        assert report.peak_concurrent_workers == 4
+
+
+class TestSharedTimelineReplay:
+    def test_replay_hundred_queries_yields_latencies_and_daily_cost(self, tiny_model):
+        workload = generate_sporadic_workload(
+            daily_samples=100 * 4, batch_size=4, neuron_counts=(64,), seed=3
+        )
+        assert workload.num_queries >= 100
+        cloud = CloudEnvironment()
+        report = InferenceServer(_serial_backend(cloud, tiny_model)).serve(workload)
+
+        assert report.num_queries == workload.num_queries
+        assert all(record.service_seconds > 0 for record in report.records)
+        starts = [record.started_at for record in report.records]
+        assert starts == sorted(starts)
+        # One shared timeline: queries sit at their absolute arrival times.
+        assert report.records[-1].started_at > 3600.0
+        assert report.makespan_seconds > 3600.0
+        # Daily cost report scoped to the serve, with sensible aggregates.
+        assert report.cost.total > 0
+        assert report.cost.record_count > 0
+        assert (
+            report.p50_latency_seconds
+            <= report.p95_latency_seconds
+            <= report.p99_latency_seconds
+        )
+        # Sporadic daily arrivals must produce both cold and warm starts.
+        assert report.cold_start_count >= 1
+        assert report.warm_start_count >= 1
+        assert report.cold_start_count + report.warm_start_count == report.num_queries
+
+    def test_replay_is_deterministic(self, tiny_model):
+        workload = generate_sporadic_workload(
+            daily_samples=40, batch_size=4, neuron_counts=(64,), seed=9
+        )
+        reports = [
+            InferenceServer(_serial_backend(CloudEnvironment(), tiny_model)).serve(workload)
+            for _ in range(2)
+        ]
+        assert reports[0].summary() == reports[1].summary()
+
+    def test_bounded_concurrency_delays_admission(self, tiny_model):
+        queries = [InferenceQuery(i, 0.0, 64, 4) for i in range(3)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=60.0)
+        cloud = CloudEnvironment()
+        report = InferenceServer(
+            _serial_backend(cloud, tiny_model),
+            ServingConfig(max_concurrent_queries=1),
+        ).serve(workload)
+        records = report.records
+        for previous, current in zip(records, records[1:]):
+            assert current.started_at >= previous.finished_at
+        assert records[1].queue_delay_seconds > 0
+        assert report.peak_concurrent_queries == 1
+
+    def test_unbounded_admission_overlaps_queries(self, tiny_model):
+        queries = [InferenceQuery(i, 0.0, 64, 4) for i in range(3)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=60.0)
+        report = InferenceServer(
+            _serial_backend(CloudEnvironment(), tiny_model)
+        ).serve(workload)
+        assert all(record.queue_delay_seconds == 0.0 for record in report.records)
+        assert report.peak_concurrent_queries == 3
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ServingConfig(max_concurrent_queries=0)
+
+
+class TestWarmPoolOnSharedTimeline:
+    def test_warm_reuse_within_keepalive_bills_warm_not_cold(self, tiny_model):
+        queries = [
+            InferenceQuery(0, 0.0, 64, 4),
+            InferenceQuery(1, 60.0, 64, 4),     # within the keepalive: warm
+            InferenceQuery(2, 5000.0, 64, 4),   # idle > keepalive: cold again
+        ]
+        workload = SporadicWorkload(queries=queries)
+        cloud = CloudEnvironment()
+        report = InferenceServer(
+            _serial_backend(cloud, tiny_model, warm_keepalive_seconds=900.0)
+        ).serve(workload)
+        first, second, third = report.records
+        assert first.cold_starts == 1 and first.warm_starts == 0
+        assert second.cold_starts == 0 and second.warm_starts == 1
+        assert third.cold_starts == 1 and third.warm_starts == 0
+        # Warm starts skip the cold-start delay, so the warm query is faster.
+        assert second.service_seconds < first.service_seconds
+        assert third.service_seconds == pytest.approx(first.service_seconds)
+        # The platform's own billing records agree with the serving report.
+        serial_records = [
+            r for r in cloud.faas.invocation_records if "serial" in r.function_name
+        ]
+        assert [r.cold for r in serial_records] == [True, False, True]
+
+    def test_serve_scopes_keepalive_and_restores_legacy_rule(self, tiny_model):
+        cloud = CloudEnvironment()
+        backend = _serial_backend(cloud, tiny_model)
+        # Constructing a backend must not change the platform's semantics.
+        assert cloud.faas.warm_keepalive_seconds is None
+        workload = SporadicWorkload(queries=[InferenceQuery(0, 0.0, 64, 4)])
+        InferenceServer(backend).serve(workload)
+        assert cloud.faas.warm_keepalive_seconds is None
+        # Direct infer calls on the same cloud keep the legacy timeless reuse
+        # rule: a request at t=0 can still claim the environment the serve
+        # freed at t>0.
+        engine = FSDInference(cloud, EngineConfig(variant=Variant.SERIAL, workers=1))
+        batch = generate_input_batch(64, samples=4, seed=11)
+        result = engine.infer(tiny_model, batch)
+        assert result.metrics.per_worker[0].cold_start is False
+
+    def test_platform_configured_keepalive_wins_over_backend_default(self, tiny_model):
+        cloud = CloudEnvironment(faas_warm_keepalive_seconds=10.0)
+        backend = _serial_backend(cloud, tiny_model, warm_keepalive_seconds=900.0)
+        queries = [InferenceQuery(0, 0.0, 64, 4), InferenceQuery(1, 60.0, 64, 4)]
+        report = InferenceServer(backend).serve(SporadicWorkload(queries=queries))
+        # 60 s gap > the platform's 10 s keepalive: the second query is cold.
+        assert report.records[1].cold_starts == 1
+        assert cloud.faas.warm_keepalive_seconds == 10.0
+
+    def test_environment_freed_in_the_future_is_not_warm(self, cloud):
+        from repro.cloud import FunctionConfig
+
+        cloud.faas.warm_keepalive_seconds = 900.0
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=512))
+        first = cloud.faas.start_invocation("fn", at_time=100.0)
+        first.charge_duration(50.0)
+        first.finish()  # environment freed at ~t=150
+        # A request placed before the environment was freed cannot reuse it.
+        earlier = cloud.faas.start_invocation("fn", at_time=10.0)
+        assert earlier.cold
+        earlier.finish()
+
+    def test_legacy_timeless_reuse_preserved_without_keepalive(self, cloud):
+        from repro.cloud import FunctionConfig
+
+        assert cloud.faas.warm_keepalive_seconds is None
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=512))
+        first = cloud.faas.start_invocation("fn", at_time=100.0)
+        first.charge_duration(5.0)
+        first.finish()
+        # Legacy private-timeline behaviour: reuse regardless of timestamps.
+        second = cloud.faas.start_invocation("fn", at_time=0.0)
+        assert not second.cold
+        second.finish()
+
+    def test_warm_environment_count_respects_time_gating(self, cloud):
+        from repro.cloud import FunctionConfig
+
+        cloud.faas.warm_keepalive_seconds = 100.0
+        cloud.faas.create_function(FunctionConfig(name="fn", memory_mb=512))
+        invocation = cloud.faas.start_invocation("fn", at_time=0.0)
+        invocation.finish()
+        freed_at = invocation.clock.now
+        assert cloud.faas.warm_environment_count("fn") == 1
+        assert cloud.faas.warm_environment_count("fn", at_time=freed_at + 1.0) == 1
+        assert cloud.faas.warm_environment_count("fn", at_time=freed_at + 1000.0) == 0
+
+
+class TestNonzeroStartTimes:
+    def test_distributed_infer_is_time_translation_invariant(
+        self, small_model, small_batch, small_plan
+    ):
+        shift = 3600.0
+        results = []
+        for at_time in (0.0, shift):
+            engine = FSDInference(
+                CloudEnvironment(), EngineConfig(variant=Variant.QUEUE, workers=4)
+            )
+            results.append(engine.infer(small_model, small_batch, small_plan, at_time=at_time))
+        base, shifted = results
+
+        assert shifted.latency_seconds == pytest.approx(base.latency_seconds)
+        assert shifted.cost.total == pytest.approx(base.cost.total)
+        assert shifted.cost.by_service == pytest.approx(base.cost.by_service)
+        assert shifted.launch.launch_span_seconds == pytest.approx(
+            base.launch.launch_span_seconds
+        )
+        assert shifted.metrics.launch_seconds == pytest.approx(base.metrics.launch_seconds)
+        assert shifted.metrics.coordinator_seconds == pytest.approx(
+            base.metrics.coordinator_seconds
+        )
+        for base_worker, shifted_worker in zip(
+            base.metrics.per_worker, shifted.metrics.per_worker
+        ):
+            assert shifted_worker.runtime_seconds == pytest.approx(
+                base_worker.runtime_seconds
+            )
+        # The absolute placement moved by exactly the shift.
+        assert shifted.started_at == shift
+        assert shifted.finished_at == pytest.approx(base.finished_at + shift)
+        for base_inv, shifted_inv in zip(
+            base.launch.invocations, shifted.launch.invocations
+        ):
+            assert shifted_inv.started_at == pytest.approx(base_inv.started_at + shift)
+        np.testing.assert_array_equal(shifted.output.data, base.output.data)
+
+    def test_serial_infer_is_time_translation_invariant(self, small_model, small_batch):
+        shift = 1234.5
+        results = []
+        for at_time in (0.0, shift):
+            engine = FSDInference(
+                CloudEnvironment(), EngineConfig(variant=Variant.SERIAL, workers=1)
+            )
+            results.append(engine.infer(small_model, small_batch, at_time=at_time))
+        base, shifted = results
+        assert shifted.latency_seconds == pytest.approx(base.latency_seconds)
+        assert shifted.cost.total == pytest.approx(base.cost.total)
+        assert shifted.finished_at == pytest.approx(base.finished_at + shift)
+
+    def test_negative_at_time_rejected(self, small_model, small_batch):
+        engine = FSDInference(
+            CloudEnvironment(), EngineConfig(variant=Variant.SERIAL, workers=1)
+        )
+        with pytest.raises(ValueError):
+            engine.infer(small_model, small_batch, at_time=-1.0)
+
+    def test_launch_tree_standalone_at_time(self):
+        from repro.cloud import FunctionConfig
+
+        launches = []
+        for at_time in (0.0, 500.0):
+            platform = CloudEnvironment().faas
+            platform.create_function(FunctionConfig(name="worker", memory_mb=512))
+            launches.append(launch_worker_tree(platform, "worker", 5, 2, at_time=at_time))
+        base, shifted = launches
+        assert shifted.root_started_at >= 500.0
+        assert shifted.launch_span_seconds == pytest.approx(base.launch_span_seconds)
+        for base_inv, shifted_inv in zip(base.invocations, shifted.invocations):
+            assert shifted_inv.started_at == pytest.approx(base_inv.started_at + 500.0)
+
+
+class TestChannelStatsSnapshotDelta:
+    def test_snapshot_is_independent_copy(self):
+        stats = ChannelStats(bytes_sent=10, messages_sent=2)
+        snap = stats.snapshot()
+        stats.bytes_sent += 5
+        assert snap.bytes_sent == 10
+        assert stats.bytes_sent == 15
+
+    def test_delta_subtracts_every_counter(self):
+        stats = ChannelStats(bytes_sent=10, poll_calls=3)
+        snap = stats.snapshot()
+        stats.bytes_sent += 7
+        stats.poll_calls += 2
+        stats.get_calls += 1
+        diff = stats.delta(snap)
+        assert diff.bytes_sent == 7
+        assert diff.poll_calls == 2
+        assert diff.get_calls == 1
+        assert diff.messages_sent == 0
+
+    def test_merge_of_delta_and_snapshot_roundtrips(self):
+        stats = ChannelStats(bytes_sent=4, put_calls=1)
+        snap = stats.snapshot()
+        stats.bytes_sent += 6
+        recombined = snap.merge(stats.delta(snap))
+        assert vars(recombined) == vars(stats)
+
+
+class TestPeakOverlap:
+    def test_touching_intervals_do_not_overlap(self):
+        assert peak_overlap([(0.0, 1.0), (1.0, 2.0)]) == 1
+
+    def test_nested_intervals_counted(self):
+        assert peak_overlap([(0.0, 10.0), (1.0, 2.0), (3.0, 4.0), (3.5, 9.0)]) == 3
+
+    def test_empty(self):
+        assert peak_overlap([]) == 0

@@ -173,3 +173,40 @@ class TestSporadicWorkload:
         workload = generate_sporadic_workload(200_000, batch_size=10_000, seed=1)
         assert workload.max_concurrent_queries(1.0) >= 1
         assert workload.max_concurrent_queries(86_400.0) == workload.num_queries
+
+    def test_cross_model_remainder_spread_evenly(self):
+        """An uneven daily volume is never dumped on a single model size."""
+        workload = generate_sporadic_workload(
+            daily_samples=103, batch_size=10, neuron_counts=(64, 128, 256), seed=2
+        )
+        assert workload.total_samples == 103
+        by_neurons = workload.samples_by_neurons()
+        # 103 over 3 sizes: 35 + 34 + 34 -- no two sizes differ by more than 1.
+        assert sorted(by_neurons.values()) == [34, 34, 35]
+
+    def test_last_query_of_each_model_size_absorbs_tail(self):
+        workload = generate_sporadic_workload(
+            daily_samples=103, batch_size=10, neuron_counts=(64, 128, 256), seed=2
+        )
+        for neurons, queries in workload.queries_by_neurons().items():
+            sizes = sorted(q.samples for q in queries)
+            # Every query is a full batch except the last, which absorbs the
+            # sub-batch remainder (no extra undersized query is spawned).
+            assert sizes[:-1] == [10] * (len(sizes) - 1)
+            assert sizes[-1] >= 10
+
+    def test_trace_replay_hooks(self):
+        workload = generate_sporadic_workload(400, batch_size=10, seed=4)
+        trace = list(workload.iter_trace())
+        assert [q.query_id for q in trace] == list(range(workload.num_queries))
+        times = [q.arrival_time for q in trace]
+        assert times == sorted(times)
+        gaps = workload.interarrival_seconds()
+        assert len(gaps) == workload.num_queries
+        assert np.all(gaps >= 0.0)
+        head = workload.head(5)
+        assert head.num_queries == 5
+        assert [q.query_id for q in head.queries] == [q.query_id for q in trace[:5]]
+        assert head.horizon_seconds == workload.horizon_seconds
+        with pytest.raises(ValueError):
+            workload.head(0)
