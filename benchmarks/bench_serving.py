@@ -12,9 +12,17 @@ through :class:`repro.serving.InferenceServer` on one shared
   workload and the cost model, so they must stay bit-for-bit identical
   across PRs unless the simulated semantics intentionally change.
 
+``--coalesce-window SECONDS`` enables the serving layer's
+``BatchCoalescingPolicy`` (same-model queries arriving within the window are
+merged into one batch, gated by the analytical cost model); the resulting
+record is policy-tagged -- its ``simulated`` block gains ``policies``,
+``coalesced_query_count`` and ``execution_count`` keys -- so it is never
+confused with the policy-free fingerprint, which must stay bit-identical.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--label NAME]
+        [--coalesce-window SECONDS]
 """
 
 from __future__ import annotations
@@ -34,6 +42,8 @@ sys.path.insert(0, str(_HERE.parent / "src"))
 from common import MEMORY_OVERHEAD_MB, build_workload, scaled_cloud, worker_memory_for  # noqa: E402
 
 from repro import (  # noqa: E402
+    BatchCoalescingPolicy,
+    CoalescingProfile,
     EngineConfig,
     FSDServingBackend,
     InferenceServer,
@@ -72,7 +82,7 @@ def _git_rev() -> str:
         return "unknown"
 
 
-def _build_server(neurons, batch_size):
+def _build_server(neurons, batch_size, coalesce_window=None):
     """An InferenceServer over the scaled bench workloads (queue variant)."""
     workloads = {n: build_workload(n, LAYERS, batch_size) for n in neurons}
 
@@ -101,10 +111,27 @@ def _build_server(neurons, batch_size):
         ),
         plan_for=lambda n, model: workloads[n].plan_for(WORKERS),
     )
-    return InferenceServer(backend, ServingConfig())
+    policies = ()
+    if coalesce_window is not None:
+        # Gate merging through the analytical cost model: the per-query fixed
+        # charges (invocations, coordinator, per-batch polling) are what the
+        # policy saves, so this predicts a win for the bench workloads.
+        def profile_for(query):
+            return CoalescingProfile(
+                variant=Variant.QUEUE,
+                workers=WORKERS,
+                layers=LAYERS,
+                per_query_runtime_seconds=2.5,
+                worker_memory_mb=worker_memory_for(query.neurons),
+            )
+
+        policies = (
+            BatchCoalescingPolicy(window_seconds=coalesce_window, profile_for=profile_for),
+        )
+    return InferenceServer(backend, ServingConfig(policies=policies))
 
 
-def _replay(quick: bool) -> dict:
+def _replay(quick: bool, coalesce_window: float | None = None) -> dict:
     neurons = QUICK_NEURONS if quick else FULL_NEURONS
     batch_size = QUICK_BATCH if quick else FULL_BATCH
     num_queries = QUICK_QUERIES if quick else FULL_QUERIES
@@ -114,29 +141,41 @@ def _replay(quick: bool) -> dict:
         neuron_counts=neurons,
         seed=SEED,
     )
-    server = _build_server(neurons, batch_size)
+    server = _build_server(neurons, batch_size, coalesce_window)
 
     start = time.perf_counter()
     report = server.serve(workload)
     wall_seconds = time.perf_counter() - start
 
     summary = report.summary()
-    return {
+    replay = {
         "neurons": list(neurons),
         "batch_size": batch_size,
         "num_queries": workload.num_queries,
         "wall_seconds": wall_seconds,
         "simulated": summary,
     }
+    if coalesce_window is not None:
+        replay["coalesce_window_seconds"] = coalesce_window
+    return replay
 
 
-def run(quick: bool = False, label: str | None = None) -> dict:
+def _fmt_latency(value) -> str:
+    """Percentiles are ``None`` for empty replays -- print that honestly."""
+    return "n/a" if value is None else f"{value:.3f}s"
+
+
+def run(
+    quick: bool = False,
+    label: str | None = None,
+    coalesce_window: float | None = None,
+) -> dict:
     record = {
         "label": label or _git_rev(),
         "git_rev": _git_rev(),
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick": quick,
-        "replay": _replay(quick),
+        "replay": _replay(quick, coalesce_window),
     }
 
     history = {"records": []}
@@ -157,12 +196,18 @@ def run(quick: bool = False, label: str | None = None) -> dict:
     )
     print(
         f"  simulated: cost ${simulated['cost_total']:.6f}, "
-        f"p50 {simulated['p50_latency_seconds']:.3f}s, "
-        f"p95 {simulated['p95_latency_seconds']:.3f}s, "
-        f"p99 {simulated['p99_latency_seconds']:.3f}s, "
+        f"p50 {_fmt_latency(simulated['p50_latency_seconds'])}, "
+        f"p95 {_fmt_latency(simulated['p95_latency_seconds'])}, "
+        f"p99 {_fmt_latency(simulated['p99_latency_seconds'])}, "
         f"{simulated['cold_start_count']} cold / {simulated['warm_start_count']} warm starts, "
         f"peak {simulated['peak_concurrent_workers']} workers"
     )
+    if "policies" in simulated:
+        print(
+            f"  policies: {[p['name'] for p in simulated['policies']]} -- "
+            f"{simulated['coalesced_query_count']} of {simulated['num_queries']} "
+            f"queries coalesced into {simulated['execution_count']} executions"
+        )
     return record
 
 
@@ -170,8 +215,15 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small trace only (CI smoke)")
     parser.add_argument("--label", default=None, help="trajectory label for this record")
+    parser.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="enable BatchCoalescingPolicy with this window (policy-tagged record)",
+    )
     args = parser.parse_args()
-    run(quick=args.quick, label=args.label)
+    run(quick=args.quick, label=args.label, coalesce_window=args.coalesce_window)
 
 
 if __name__ == "__main__":

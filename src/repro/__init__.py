@@ -59,6 +59,8 @@ from .core import (
     Variant,
 )
 from .costmodel import (
+    CoalescingProfile,
+    CoalescingRecommendation,
     CostBreakdown,
     CostValidationReport,
     Recommendation,
@@ -66,17 +68,21 @@ from .costmodel import (
     WorkloadEstimate,
     WorkloadProfile,
     estimate_from_metrics,
+    recommend_coalescing,
     recommend_variant,
     validate_cost_model,
 )
 from .model import SparseDNN
 from .serving import (
+    BatchCoalescingPolicy,
     EndpointServingBackend,
     FSDServingBackend,
     HPCServingBackend,
     InferenceServer,
     QueryRecord,
     QueryWorkloadFactory,
+    QueueDepthAutoscaler,
+    SchedulingPolicy,
     ServerServingBackend,
     ServingBackend,
     ServingConfig,
@@ -101,6 +107,7 @@ from .workloads import (
     build_graph_challenge_model,
     generate_input_batch,
     generate_sporadic_workload,
+    merge_queries,
     paper_configuration,
 )
 
@@ -130,6 +137,8 @@ __all__ = [
     "LaunchTree",
     "Variant",
     # cost model
+    "CoalescingProfile",
+    "CoalescingRecommendation",
     "CostBreakdown",
     "CostValidationReport",
     "Recommendation",
@@ -137,6 +146,7 @@ __all__ = [
     "WorkloadEstimate",
     "WorkloadProfile",
     "estimate_from_metrics",
+    "recommend_coalescing",
     "recommend_variant",
     "validate_cost_model",
     # model & partitioning
@@ -148,12 +158,15 @@ __all__ = [
     "RandomPartitioner",
     "evaluate_plan",
     # serving
+    "BatchCoalescingPolicy",
     "EndpointServingBackend",
     "FSDServingBackend",
     "HPCServingBackend",
     "InferenceServer",
     "QueryRecord",
     "QueryWorkloadFactory",
+    "QueueDepthAutoscaler",
+    "SchedulingPolicy",
     "ServerServingBackend",
     "ServingBackend",
     "ServingConfig",
@@ -169,6 +182,7 @@ __all__ = [
     "build_graph_challenge_model",
     "generate_input_batch",
     "generate_sporadic_workload",
+    "merge_queries",
     "paper_configuration",
     # baselines
     "EndpointInfeasibleError",

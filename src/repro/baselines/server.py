@@ -61,6 +61,12 @@ class ServerQueryResult:
     compute_seconds: float
     cost: float
     batch_size: int
+    #: whether a fresh instance was booted for this query (job-scoped), as
+    #: opposed to dispatching onto an already-running always-on fleet.  This
+    #: is what distinguishes a cold start from a warm one: always-on-cold
+    #: queries reload the model from object storage, but the instance itself
+    #: was already provisioned.
+    provisioned: bool = False
 
     @property
     def per_sample_ms(self) -> float:
@@ -184,6 +190,7 @@ def run_server_query(
         compute_seconds=compute_seconds,
         cost=cost,
         batch_size=batch.shape[1],
+        provisioned=not vm.always_on,
     )
 
 

@@ -65,10 +65,17 @@ class ChannelStats:
     delete_calls: int = 0
 
     def merge(self, other: "ChannelStats") -> "ChannelStats":
-        merged = ChannelStats()
-        for name in vars(merged):
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
-        return merged
+        return self.snapshot().accumulate(other)
+
+    def accumulate(self, other: "ChannelStats") -> "ChannelStats":
+        """Add ``other``'s counters into this instance (no allocation); returns self.
+
+        Equivalent to ``self = self.merge(other)`` for hot accumulation loops
+        (e.g. folding per-query stats over a day-long serving replay).
+        """
+        for name in vars(self):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
 
     def snapshot(self) -> "ChannelStats":
         """An immutable-by-convention copy of the counters at this instant."""

@@ -13,7 +13,14 @@ from .model import (
     queue_total_cost,
     serial_total_cost,
 )
-from .recommend import Recommendation, WorkloadProfile, recommend_variant
+from .recommend import (
+    CoalescingProfile,
+    CoalescingRecommendation,
+    Recommendation,
+    WorkloadProfile,
+    recommend_coalescing,
+    recommend_variant,
+)
 from .validator import CostValidationReport, validate_cost_model
 
 __all__ = [
@@ -30,8 +37,11 @@ __all__ = [
     "queue_comm_cost",
     "queue_total_cost",
     "serial_total_cost",
+    "CoalescingProfile",
+    "CoalescingRecommendation",
     "Recommendation",
     "WorkloadProfile",
+    "recommend_coalescing",
     "recommend_variant",
     "CostValidationReport",
     "validate_cost_model",

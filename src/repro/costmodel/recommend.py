@@ -14,6 +14,14 @@ The paper concludes its cost analysis with three recommendations:
 
 :func:`recommend_variant` encodes that decision procedure so callers (and the
 Figure 4 daily-cost experiment) can pick the per-query variant automatically.
+
+:func:`recommend_coalescing` extends the same per-query economics to the
+serving layer's batching question: since invocation charges, coordinator
+overhead and per-batch polling are paid *per query* regardless of batch size,
+merging ``B`` same-model queries into one request saves ``B - 1`` copies of
+those fixed costs -- unless the merged batch forces bigger workers or
+super-linear runtime.  The serving layer's ``BatchCoalescingPolicy`` consults
+this to decide whether holding queries for a coalescing window wins.
 """
 
 from __future__ import annotations
@@ -21,10 +29,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..cloud import MAX_MEMORY_MB
+from ..cloud import MAX_MEMORY_MB, PriceBook
 from ..core import Variant
+from .estimator import WorkloadCostEstimator, WorkloadEstimate
 
-__all__ = ["WorkloadProfile", "Recommendation", "recommend_variant"]
+__all__ = [
+    "WorkloadProfile",
+    "Recommendation",
+    "recommend_variant",
+    "CoalescingProfile",
+    "CoalescingRecommendation",
+    "recommend_coalescing",
+]
 
 #: fraction of a FaaS instance's memory the model may occupy before the
 #: serial variant stops being recommended (leaves room for activations).
@@ -93,4 +109,112 @@ def recommend_variant(profile: WorkloadProfile) -> Recommendation:
             "storage offers effectively unlimited object sizes and free data "
             "transfer, so it is the leading choice for very large inference tasks"
         ),
+    )
+
+
+@dataclass(frozen=True)
+class CoalescingProfile:
+    """Inputs for the batch-coalescing decision.
+
+    Describes ``batch_queries`` identical queries of one model size, either
+    executed separately (the split plan) or folded into one merged request.
+    The merged request defaults to linear scaling -- runtime grows with the
+    sample count, worker memory stays put -- which callers can override when
+    profiling shows otherwise (e.g. activation growth forcing larger workers).
+    """
+
+    variant: Variant
+    workers: int
+    layers: int
+    per_query_runtime_seconds: float
+    worker_memory_mb: float
+    batch_queries: int = 2
+    per_query_comm_bytes: float = 0.0
+    per_query_transfers: int = 0
+    merged_runtime_seconds: Optional[float] = None
+    merged_worker_memory_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_queries < 2:
+            raise ValueError("coalescing needs at least two queries to merge")
+        if self.per_query_runtime_seconds < 0:
+            raise ValueError("runtime cannot be negative")
+
+
+@dataclass(frozen=True)
+class CoalescingRecommendation:
+    """Whether merging wins, with the predicted costs behind the verdict."""
+
+    merge: bool
+    split_cost: float
+    merged_cost: float
+    reason: str
+
+    @property
+    def predicted_saving(self) -> float:
+        return self.split_cost - self.merged_cost
+
+
+def recommend_coalescing(
+    profile: CoalescingProfile, prices: Optional[PriceBook] = None
+) -> CoalescingRecommendation:
+    """Predict whether merging ``batch_queries`` queries into one batch wins.
+
+    Both plans are priced through :class:`WorkloadCostEstimator` (the Figure-4
+    forecasting path): the split plan repeats the per-query workload
+    ``batch_queries`` times, the merged plan runs once with summed samples.
+    """
+    estimator = WorkloadCostEstimator(prices)
+    split = estimator.estimate(
+        WorkloadEstimate(
+            variant=profile.variant,
+            workers=profile.workers,
+            layers=profile.layers,
+            expected_runtime_seconds=profile.per_query_runtime_seconds,
+            worker_memory_mb=profile.worker_memory_mb,
+            comm_bytes=profile.per_query_comm_bytes,
+            transfers=profile.per_query_transfers,
+            batches=profile.batch_queries,
+        )
+    )
+    merged_runtime = (
+        profile.merged_runtime_seconds
+        if profile.merged_runtime_seconds is not None
+        else profile.per_query_runtime_seconds * profile.batch_queries
+    )
+    merged_memory = (
+        profile.merged_worker_memory_mb
+        if profile.merged_worker_memory_mb is not None
+        else profile.worker_memory_mb
+    )
+    merged = estimator.estimate(
+        WorkloadEstimate(
+            variant=profile.variant,
+            workers=profile.workers,
+            layers=profile.layers,
+            expected_runtime_seconds=merged_runtime,
+            worker_memory_mb=merged_memory,
+            comm_bytes=profile.per_query_comm_bytes * profile.batch_queries,
+            transfers=profile.per_query_transfers,
+            batches=1,
+        )
+    )
+    if merged.total < split.total:
+        reason = (
+            f"one merged request ({merged.total:.3e}) undercuts "
+            f"{profile.batch_queries} separate queries ({split.total:.3e}): "
+            "invocation, coordinator and per-batch polling charges are paid "
+            "once instead of per query"
+        )
+        return CoalescingRecommendation(
+            merge=True, split_cost=split.total, merged_cost=merged.total, reason=reason
+        )
+    reason = (
+        f"merging does not pay: the merged request ({merged.total:.3e}) costs at "
+        f"least as much as {profile.batch_queries} separate queries "
+        f"({split.total:.3e}), e.g. because the bigger batch forces larger "
+        "workers or super-linear runtime"
+    )
+    return CoalescingRecommendation(
+        merge=False, split_cost=split.total, merged_cost=merged.total, reason=reason
     )

@@ -15,6 +15,13 @@ from .backends import (
     QueryWorkloadFactory,
     ServerServingBackend,
     ServingBackend,
+    split_batch_outcome,
+)
+from .policies import (
+    BatchCoalescingPolicy,
+    HoldDecision,
+    QueueDepthAutoscaler,
+    SchedulingPolicy,
 )
 from .server import (
     InferenceServer,
@@ -32,6 +39,11 @@ __all__ = [
     "QueryWorkloadFactory",
     "ServerServingBackend",
     "ServingBackend",
+    "split_batch_outcome",
+    "BatchCoalescingPolicy",
+    "HoldDecision",
+    "QueueDepthAutoscaler",
+    "SchedulingPolicy",
     "InferenceServer",
     "QueryRecord",
     "ServingConfig",

@@ -24,8 +24,8 @@ handling.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from scipy import sparse
 
@@ -48,6 +48,7 @@ from ..workloads import (
     SporadicWorkload,
     build_graph_challenge_model,
     generate_input_batch,
+    merge_queries,
 )
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "ServerServingBackend",
     "EndpointServingBackend",
     "HPCServingBackend",
+    "split_batch_outcome",
 ]
 
 
@@ -132,17 +134,92 @@ class QueryOutcome:
     result: Any = None
 
 
+def split_batch_outcome(
+    outcome: QueryOutcome, queries: Sequence[InferenceQuery]
+) -> List[QueryOutcome]:
+    """Attribute a merged-batch outcome back onto its constituent queries.
+
+    Every query observes the merged latency (the batch finishes as one
+    inference); the cost is split proportionally to each query's sample
+    count with the last query absorbing the floating-point remainder, so the
+    per-query costs sum exactly to the batch cost.  Cold/warm starts, channel
+    stats and the backend-native result describe the single merged execution,
+    so they are attributed once -- to the first query -- to keep report
+    aggregates equal to what actually happened on the platform.
+    """
+    total_samples = sum(query.samples for query in queries)
+    outcomes: List[QueryOutcome] = []
+    remaining_cost = outcome.cost
+    for index, query in enumerate(queries):
+        last = index == len(queries) - 1
+        if last:
+            share = remaining_cost
+        elif total_samples > 0:
+            share = outcome.cost * query.samples / total_samples
+        else:
+            # Degenerate all-empty batch: split the fixed charges evenly.
+            share = outcome.cost / len(queries)
+        remaining_cost -= share
+        outcomes.append(
+            replace(
+                outcome,
+                cost=share,
+                cold_starts=outcome.cold_starts if index == 0 else 0,
+                warm_starts=outcome.warm_starts if index == 0 else 0,
+                channel_stats=outcome.channel_stats if index == 0 else None,
+                result=outcome.result if index == 0 else None,
+            )
+        )
+    return outcomes
+
+
 class ServingBackend(ABC):
     """Execution substrate driven by the :class:`InferenceServer` scheduler."""
 
     name: str = "backend"
+    factory: QueryWorkloadFactory
 
     def begin(self, workload: SporadicWorkload) -> None:
         """Called once before replay starts (checkpoints, standing bills)."""
 
     @abstractmethod
+    def _execute(
+        self,
+        query: InferenceQuery,
+        model: SparseDNN,
+        batch: sparse.csr_matrix,
+        at_time: float,
+    ) -> QueryOutcome:
+        """Run the resolved ``(model, batch)`` starting at ``at_time``."""
+
     def execute(self, query: InferenceQuery, at_time: float) -> QueryOutcome:
         """Run ``query`` starting at ``at_time`` on the shared timeline."""
+        model = self.factory.model_for(query.neurons)
+        batch = self.factory.batch_for(query)
+        return self._execute(query, model, batch, at_time)
+
+    def execute_batch(
+        self, queries: Sequence[InferenceQuery], at_time: float
+    ) -> List[QueryOutcome]:
+        """Run several same-model queries as one merged inference.
+
+        The per-query factory batches are stacked along the sample axis
+        (batches are ``(neurons, samples)``, so samples concatenate as
+        columns), one inference runs over the merged batch, and the outcome
+        is split back per query via :func:`split_batch_outcome`.  A
+        single-query batch is exactly :meth:`execute`.
+        """
+        if not queries:
+            raise ValueError("execute_batch needs at least one query")
+        if len(queries) == 1:
+            return [self.execute(queries[0], at_time)]
+        merged = merge_queries(queries)
+        model = self.factory.model_for(merged.neurons)
+        batch = sparse.hstack(
+            [self.factory.batch_for(query) for query in queries], format="csr"
+        )
+        outcome = self._execute(merged, model, batch, at_time)
+        return split_batch_outcome(outcome, queries)
 
     def finish(self) -> CostReport:
         """Called once after replay; returns the cost scoped to this serve."""
@@ -210,9 +287,13 @@ class FSDServingBackend(ServingBackend):
         if self.warm_keepalive_seconds is not None and self._saved_keepalive is None:
             self.cloud.faas.warm_keepalive_seconds = self.warm_keepalive_seconds
 
-    def execute(self, query: InferenceQuery, at_time: float) -> QueryOutcome:
-        model = self.factory.model_for(query.neurons)
-        batch = self.factory.batch_for(query)
+    def _execute(
+        self,
+        query: InferenceQuery,
+        model: SparseDNN,
+        batch: sparse.csr_matrix,
+        at_time: float,
+    ) -> QueryOutcome:
         engine = self._engine_for(query.neurons)
         if engine.config.variant.is_distributed:
             plan = self._plan(query.neurons, model, engine)
@@ -278,14 +359,22 @@ class ServerServingBackend(ServingBackend):
                 **fleet_kwargs,
             )
 
-    def execute(self, query: InferenceQuery, at_time: float) -> QueryOutcome:
-        model = self.factory.model_for(query.neurons)
-        batch = self.factory.batch_for(query)
+    def _execute(
+        self,
+        query: InferenceQuery,
+        model: SparseDNN,
+        batch: sparse.csr_matrix,
+        at_time: float,
+    ) -> QueryOutcome:
         result = run_server_query(
             self.cloud, model, batch, self.mode, self.instance_type, at_time=at_time
         )
         self._intervals.append((at_time, at_time + result.latency_seconds))
-        cold = 1 if self.mode is not ServerMode.ALWAYS_ON_HOT else 0
+        # Cold means a fresh instance was actually booted for this query
+        # (what run_server_query did), not merely that the model was not hot:
+        # always-on-cold fleets reload the model but the instance was already
+        # provisioned, so their queries are warm starts.
+        cold = 1 if result.provisioned else 0
         return QueryOutcome(
             latency_seconds=result.latency_seconds,
             cost=result.cost,
@@ -321,9 +410,13 @@ class EndpointServingBackend(ServingBackend):
         self._ledger_checkpoint = self.cloud.billing_checkpoint()
         self._intervals = []
 
-    def execute(self, query: InferenceQuery, at_time: float) -> QueryOutcome:
-        model = self.factory.model_for(query.neurons)
-        batch = self.factory.batch_for(query)
+    def _execute(
+        self,
+        query: InferenceQuery,
+        model: SparseDNN,
+        batch: sparse.csr_matrix,
+        at_time: float,
+    ) -> QueryOutcome:
         result = run_endpoint_query(self.cloud, model, batch, self.limits, at_time=at_time)
         self._intervals.append((at_time, at_time + result.latency_seconds))
         return QueryOutcome(
@@ -361,9 +454,13 @@ class HPCServingBackend(ServingBackend):
     def begin(self, workload: SporadicWorkload) -> None:
         self._intervals = []
 
-    def execute(self, query: InferenceQuery, at_time: float) -> QueryOutcome:
-        model = self.factory.model_for(query.neurons)
-        batch = self.factory.batch_for(query)
+    def _execute(
+        self,
+        query: InferenceQuery,
+        model: SparseDNN,
+        batch: sparse.csr_matrix,
+        at_time: float,
+    ) -> QueryOutcome:
         plan = None
         if self.ranks > 1:
             if query.neurons not in self._plans:

@@ -1,0 +1,247 @@
+"""Pluggable scheduling policies for the event-driven serving loop.
+
+The :class:`~repro.serving.server.InferenceServer` event loop delegates two
+decisions to policies:
+
+* **What to admit** -- a policy may *hold* arriving queries (scheduling a
+  policy tick for later) and release them in admission units of one or more
+  queries.  :class:`BatchCoalescingPolicy` uses this to merge same-model
+  queries arriving within a window into one larger batch, paying the
+  per-query fixed charges (invocations, coordinator, per-batch polling) once
+  -- the win the paper's Figure-4 per-query economics predict for sporadic
+  workloads.  The decision to coalesce is gated by the analytical cost model
+  (:func:`repro.costmodel.recommend_coalescing`).
+* **How much to admit** -- a policy may adjust the concurrency bound.
+  :class:`QueueDepthAutoscaler` replaces the static
+  ``max_concurrent_queries`` with a controller that raises the in-flight
+  limit while the admission queue is deep and lowers it as it drains.
+
+With no policies configured the event loop reproduces the pre-policy serving
+semantics bit-for-bit (locked by the regression tests), so every fingerprint
+validated before this subsystem landed remains valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..costmodel import CoalescingProfile, recommend_coalescing
+from ..workloads import InferenceQuery, SporadicWorkload
+
+__all__ = [
+    "HoldDecision",
+    "SchedulingPolicy",
+    "BatchCoalescingPolicy",
+    "QueueDepthAutoscaler",
+]
+
+
+@dataclass(frozen=True)
+class HoldDecision:
+    """A policy's claim on an arriving query.
+
+    ``tick_at`` asks the event loop to schedule a policy tick at that virtual
+    time (the coalescing-window deadline); ``None`` means the query joined an
+    already-scheduled group and no new tick is needed.
+    """
+
+    tick_at: Optional[float] = None
+
+
+class SchedulingPolicy:
+    """Base policy: every hook is a no-op, so subclasses override only what
+    they shape.  Policies are stateful across one serve; :meth:`begin` resets
+    them at replay start."""
+
+    name: str = "policy"
+
+    def begin(self, workload: SporadicWorkload) -> None:
+        """Called once before replay starts."""
+
+    def on_arrival(self, query: InferenceQuery, now: float) -> Optional[HoldDecision]:
+        """Claim an arriving query (hold it) or return ``None`` to pass it on.
+
+        A held query is owned by the policy until it is released from
+        :meth:`on_tick`; the event loop will not admit it in the meantime.
+        """
+        return None
+
+    def on_tick(self, now: float) -> List[Tuple[InferenceQuery, ...]]:
+        """Admission units released at a policy tick (each unit is executed
+        as one batch by the backend)."""
+        return []
+
+    def on_completion(self, now: float, in_flight: int, queue_depth: int) -> None:
+        """Observe a query (or merged batch) completing."""
+
+    def admission_limit(
+        self, base_limit: Optional[int], queue_depth: int, in_flight: int
+    ) -> Optional[int]:
+        """Concurrency bound to apply right now (``None`` = unbounded)."""
+        return base_limit
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly identity for benchmark fingerprints."""
+        return {"name": self.name}
+
+
+@dataclass
+class _CoalescingGroup:
+    """Queries of one model size held open for the current window."""
+
+    deadline: float
+    queries: List[InferenceQuery] = field(default_factory=list)
+
+
+class BatchCoalescingPolicy(SchedulingPolicy):
+    """Merge same-model queries arriving within a window into one batch.
+
+    The first query of a model size opens a *window*: it is held, and a
+    policy tick is scheduled ``window_seconds`` later.  Same-``neurons``
+    queries arriving strictly inside the window join the group; at the
+    deadline the group is released as one admission unit, which the backend
+    executes as a single merged inference (summed samples) and splits back
+    onto per-query records.  Boundary semantics:
+
+    * ``window_seconds=0`` degenerates to no batching: the release tick
+      fires before any same-time arrival is processed, so every query
+      executes alone.
+    * A query arriving exactly at the deadline does not join -- the deadline
+      tick is ordered before same-time arrivals -- it opens the next window.
+    * Queries of different model sizes never merge; each size holds its own
+      independent window.
+
+    ``profile_for`` hooks in the analytical cost model: when provided, the
+    first query of each model size is profiled and
+    :func:`~repro.costmodel.recommend_coalescing` decides whether merging
+    wins for that size; sizes where it loses are never held.  Without a
+    profiler, coalescing is unconditional (the fixed per-query charges make
+    merging win whenever scaling is linear, which is the default
+    assumption).
+    """
+
+    def __init__(
+        self,
+        window_seconds: float,
+        max_batch_queries: Optional[int] = None,
+        profile_for: Optional[Callable[[InferenceQuery], CoalescingProfile]] = None,
+    ):
+        if window_seconds < 0:
+            raise ValueError("window_seconds cannot be negative")
+        if max_batch_queries is not None and max_batch_queries < 1:
+            raise ValueError("max_batch_queries must be at least 1 (or None)")
+        self.window_seconds = window_seconds
+        self.max_batch_queries = max_batch_queries
+        self.profile_for = profile_for
+        self.name = "coalesce"
+        self._open: Dict[int, _CoalescingGroup] = {}
+        self._ready: List[Tuple[InferenceQuery, ...]] = []
+        self._merge_wins: Dict[int, bool] = {}
+        #: (neurons, batch size) of every released unit, for introspection.
+        self.released: List[Tuple[int, int]] = []
+
+    def begin(self, workload: SporadicWorkload) -> None:
+        self._open = {}
+        self._ready = []
+        self._merge_wins = {}
+        self.released = []
+
+    def _coalescing_wins(self, query: InferenceQuery) -> bool:
+        if self.profile_for is None:
+            return True
+        if query.neurons not in self._merge_wins:
+            recommendation = recommend_coalescing(self.profile_for(query))
+            self._merge_wins[query.neurons] = recommendation.merge
+        return self._merge_wins[query.neurons]
+
+    def on_arrival(self, query: InferenceQuery, now: float) -> Optional[HoldDecision]:
+        if self.max_batch_queries == 1:
+            # Batches may never grow past one query: holding could only add
+            # latency, so this degenerates to no batching at all.
+            return None
+        if not self._coalescing_wins(query):
+            return None
+        group = self._open.get(query.neurons)
+        if group is not None and now < group.deadline:
+            group.queries.append(query)
+            if (
+                self.max_batch_queries is not None
+                and len(group.queries) >= self.max_batch_queries
+            ):
+                # Full batch: close the window early via an immediate tick.
+                del self._open[query.neurons]
+                self._ready.append(tuple(group.queries))
+                return HoldDecision(tick_at=now)
+            return HoldDecision(tick_at=None)
+        deadline = now + self.window_seconds
+        self._open[query.neurons] = _CoalescingGroup(deadline=deadline, queries=[query])
+        return HoldDecision(tick_at=deadline)
+
+    def on_tick(self, now: float) -> List[Tuple[InferenceQuery, ...]]:
+        units = self._ready
+        self._ready = []
+        expired = [n for n, group in self._open.items() if group.deadline <= now]
+        for neurons in expired:
+            units.append(tuple(self._open.pop(neurons).queries))
+        self.released.extend((unit[0].neurons, len(unit)) for unit in units)
+        return units
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "window_seconds": self.window_seconds,
+            "max_batch_queries": self.max_batch_queries,
+        }
+
+
+class QueueDepthAutoscaler(SchedulingPolicy):
+    """Concurrency controller driven by observed admission-queue depth.
+
+    Replaces the static ``max_concurrent_queries`` bound: the in-flight
+    limit is ``min_limit`` plus one extra slot per ``queries_per_slot``
+    *admission units* waiting in the queue (a coalesced batch released by a
+    batching policy counts as one unit), capped at ``max_limit``.  The
+    response is monotone -- a deeper queue never yields a smaller limit --
+    and memoryless, so the limit relaxes back to ``min_limit`` as the queue
+    drains (in-flight work is never cancelled; a lowered limit only gates
+    new admissions).
+    """
+
+    def __init__(self, min_limit: int = 1, max_limit: int = 8, queries_per_slot: int = 2):
+        if min_limit < 1:
+            raise ValueError("min_limit must be at least 1")
+        if max_limit < min_limit:
+            raise ValueError("max_limit cannot be below min_limit")
+        if queries_per_slot < 1:
+            raise ValueError("queries_per_slot must be at least 1")
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.queries_per_slot = queries_per_slot
+        self.name = "autoscale"
+        #: (queue_depth, limit) observations, for tests and introspection.
+        self.observations: List[Tuple[int, int]] = []
+
+    def begin(self, workload: SporadicWorkload) -> None:
+        self.observations = []
+
+    def desired_limit(self, queue_depth: int) -> int:
+        """The controller's pure response: monotone in queue depth."""
+        if queue_depth < 0:
+            raise ValueError("queue depth cannot be negative")
+        return min(self.max_limit, self.min_limit + queue_depth // self.queries_per_slot)
+
+    def admission_limit(
+        self, base_limit: Optional[int], queue_depth: int, in_flight: int
+    ) -> Optional[int]:
+        limit = self.desired_limit(queue_depth)
+        self.observations.append((queue_depth, limit))
+        return limit
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "min_limit": self.min_limit,
+            "max_limit": self.max_limit,
+            "queries_per_slot": self.queries_per_slot,
+        }

@@ -17,6 +17,14 @@ trace through **one shared** :class:`~repro.cloud.CloudEnvironment`, so
   and aggregate (daily :class:`CostReport`, p50/p95/p99 latency, peak
   concurrency).
 
+The scheduler is an explicit event loop over one heap carrying three event
+kinds -- **completion**, **policy tick**, **arrival**, processed in that
+order at equal times -- so scheduling policies
+(:mod:`repro.serving.policies`) can hold arrivals (batch coalescing) or
+adjust the admission limit (queue-depth autoscaling) without touching the
+replay mechanics.  With no policies configured the loop reproduces the
+original inline admission loop bit-for-bit.
+
 Invariant: replaying a single query arriving at ``t=0`` on a cold pool is
 *exactly* ``FSDInference.infer`` -- same output bytes, latency, cost and
 metrics -- so everything validated against the single-query engine transfers
@@ -26,15 +34,18 @@ to the serving layer unchanged.
 from __future__ import annotations
 
 import heapq
+import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..cloud import CostReport
 from ..comm import ChannelStats
-from ..workloads import SporadicWorkload
+from ..workloads import InferenceQuery, SporadicWorkload
 from .backends import ServingBackend
+from .policies import SchedulingPolicy
 
 __all__ = [
     "ServingConfig",
@@ -44,22 +55,51 @@ __all__ = [
     "peak_overlap",
 ]
 
+#: event-kind priorities: at equal virtual times, completions release their
+#: slots first, policy ticks (e.g. coalescing-window deadlines) flush next,
+#: and only then are new arrivals processed.  This is what makes touching
+#: intervals non-overlapping and a zero-second coalescing window equal to no
+#: batching.
+_COMPLETION, _POLICY_TICK, _ARRIVAL = 0, 1, 2
+
 
 def peak_overlap(intervals: Iterable[Tuple[float, float]]) -> int:
     """Maximum number of simultaneously active ``(start, end)`` intervals.
 
     Touching endpoints do not overlap: an interval ending exactly when
-    another starts releases its slot first.
+    another starts releases its slot first.  Zero-length intervals are
+    momentarily active at their instant: they overlap intervals strictly
+    containing that instant (and each other when they coincide), but -- by
+    the touching rule -- not intervals starting or ending exactly there.
     """
     events: List[Tuple[float, int]] = []
     for start, end in intervals:
-        events.append((start, 1))
-        events.append((end, -1))
+        if end > start:
+            events.append((start, 1))
+            events.append((end, -1))
+        else:
+            # Zero-length: a marker evaluated between the ends and starts at
+            # its timestamp, so it counts as momentarily active.
+            events.append((start, 0))
     events.sort(key=lambda event: (event[0], event[1]))
     active = peak = 0
-    for _, delta in events:
-        active += delta
-        peak = max(peak, active)
+    index = 0
+    total = len(events)
+    while index < total:
+        time = events[index][0]
+        while index < total and events[index][0] == time and events[index][1] == -1:
+            active -= 1
+            index += 1
+        momentary = 0
+        while index < total and events[index][0] == time and events[index][1] == 0:
+            momentary += 1
+            index += 1
+        if momentary:
+            peak = max(peak, active + momentary)
+        while index < total and events[index][0] == time and events[index][1] == 1:
+            active += 1
+            peak = max(peak, active)
+            index += 1
     return peak
 
 
@@ -67,9 +107,18 @@ def peak_overlap(intervals: Iterable[Tuple[float, float]]) -> int:
 class ServingConfig:
     """Admission/scheduling knobs of the serving layer."""
 
-    #: maximum queries in flight at once; arrivals beyond it queue until a
-    #: running query completes.  ``None`` admits every arrival immediately.
+    #: maximum *executions* in flight at once; arrivals beyond it queue until
+    #: a running execution completes.  ``None`` admits every arrival
+    #: immediately.  A coalesced batch counts as one execution, so
+    #: ``peak_concurrent_queries`` (which counts the client-visible queries
+    #: inside merged batches individually) may legitimately exceed this
+    #: bound when a batching policy is active.  A
+    #: :class:`~repro.serving.policies.QueueDepthAutoscaler` policy
+    #: supersedes this static bound.
     max_concurrent_queries: Optional[int] = None
+    #: scheduling policies consulted by the event loop, in order.  The first
+    #: policy to claim an arrival holds it; ``admission_limit`` hooks chain.
+    policies: Tuple[SchedulingPolicy, ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_concurrent_queries is not None and self.max_concurrent_queries < 1:
@@ -89,6 +138,13 @@ class QueryRecord:
     cost: float
     cold_starts: int
     warm_starts: int
+    #: all query ids executed in the same merged batch (including this one),
+    #: in arrival order; empty when the query executed alone.
+    coalesced_group: Tuple[int, ...] = ()
+
+    @property
+    def was_coalesced(self) -> bool:
+        return len(self.coalesced_group) > 1
 
     @property
     def queue_delay_seconds(self) -> float:
@@ -138,6 +194,18 @@ class ServingReport:
         return sum(record.warm_starts for record in self.records)
 
     @property
+    def coalesced_query_count(self) -> int:
+        """Queries that executed inside a merged batch."""
+        return sum(1 for record in self.records if record.was_coalesced)
+
+    @property
+    def execution_count(self) -> int:
+        """Backend executions performed (merged batches count once)."""
+        groups = {record.coalesced_group for record in self.records if record.was_coalesced}
+        solo = sum(1 for record in self.records if not record.was_coalesced)
+        return solo + len(groups)
+
+    @property
     def makespan_seconds(self) -> float:
         """From the first arrival to the last completion."""
         if not self.records:
@@ -147,8 +215,15 @@ class ServingReport:
         return last - first
 
     def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile over all records; ``nan`` for an empty report.
+
+        An empty replay has no latency distribution -- returning ``0.0``
+        would be indistinguishable from a real zero-latency fingerprint, so
+        callers that may serve empty workloads must handle the ``nan``
+        (:meth:`summary` maps it to ``None``).
+        """
         if not self.records:
-            return 0.0
+            return float("nan")
         latencies = np.asarray([record.latency_seconds for record in self.records])
         return float(np.percentile(latencies, percentile))
 
@@ -178,21 +253,37 @@ class ServingReport:
         }
 
     def summary(self) -> Dict[str, object]:
-        """Flat, JSON-friendly aggregate view (benchmark fingerprints)."""
-        return {
+        """Flat, JSON-friendly aggregate view (benchmark fingerprints).
+
+        With no policies configured the keys and values are identical to the
+        pre-policy serving layer; policy runs add a ``"policies"`` tag (and
+        coalescing counters) so their fingerprints are never mistaken for
+        policy-free ones.
+        """
+
+        def percentile_or_none(percentile: float) -> Optional[float]:
+            value = self.latency_percentile(percentile)
+            return None if math.isnan(value) else value
+
+        summary: Dict[str, object] = {
             "backend": self.backend,
             "num_queries": self.num_queries,
             "total_samples": self.total_samples,
             "cost_total": self.cost.total,
-            "p50_latency_seconds": self.p50_latency_seconds,
-            "p95_latency_seconds": self.p95_latency_seconds,
-            "p99_latency_seconds": self.p99_latency_seconds,
+            "p50_latency_seconds": percentile_or_none(50.0),
+            "p95_latency_seconds": percentile_or_none(95.0),
+            "p99_latency_seconds": percentile_or_none(99.0),
             "makespan_seconds": self.makespan_seconds,
             "cold_start_count": self.cold_start_count,
             "warm_start_count": self.warm_start_count,
             "peak_concurrent_queries": self.peak_concurrent_queries,
             "peak_concurrent_workers": self.peak_concurrent_workers,
         }
+        if self.config.policies:
+            summary["policies"] = [policy.describe() for policy in self.config.policies]
+            summary["coalesced_query_count"] = self.coalesced_query_count
+            summary["execution_count"] = self.execution_count
+        return summary
 
 
 class InferenceServer:
@@ -203,44 +294,97 @@ class InferenceServer:
         self.config = config or ServingConfig()
 
     def serve(self, workload: SporadicWorkload) -> ServingReport:
-        """Replay every query of ``workload`` in arrival order.
+        """Replay every query of ``workload`` via the event loop.
 
-        Queries are admitted at their arrival time unless the concurrency
-        bound is saturated, in which case they start when the earliest
-        in-flight query completes.  Admission times are non-decreasing, so
-        the FaaS warm pool observes a causally consistent request sequence.
+        Events (completions, policy ticks, arrivals -- in that order at
+        equal times) are drained from one heap.  Arrivals are either claimed
+        by a policy (held for a coalescing window) or appended to the
+        admission queue; after every event, as many queued units as the
+        admission limit allows are executed at the current virtual time.
+        Admission times are non-decreasing, so the FaaS warm pool observes a
+        causally consistent request sequence.
         """
         self.backend.begin(workload)
-        in_flight: List[float] = []  # completion-time min-heap
+        policies = self.config.policies
+        for policy in policies:
+            policy.begin(workload)
+
+        events: List[Tuple[float, int, int, Optional[InferenceQuery]]] = []
+        seq = 0
+        for query in workload.iter_trace():
+            heapq.heappush(events, (query.arrival_time, _ARRIVAL, seq, query))
+            seq += 1
+
+        pending: Deque[Tuple[InferenceQuery, ...]] = deque()
         records: List[QueryRecord] = []
         channel_total = ChannelStats()
-        limit = self.config.max_concurrent_queries
+        in_flight = 0
 
-        for query in workload.iter_trace():
-            start = query.arrival_time
-            while in_flight and in_flight[0] <= start:
-                heapq.heappop(in_flight)
-            if limit is not None:
-                while len(in_flight) >= limit:
-                    start = max(start, heapq.heappop(in_flight))
-            outcome = self.backend.execute(query, at_time=start)
-            finished = start + outcome.latency_seconds
-            heapq.heappush(in_flight, finished)
-            if outcome.channel_stats is not None:
-                channel_total = channel_total.merge(outcome.channel_stats)
-            records.append(
-                QueryRecord(
-                    query_id=query.query_id,
-                    neurons=query.neurons,
-                    samples=query.samples,
-                    arrival_time=query.arrival_time,
-                    started_at=start,
-                    finished_at=finished,
-                    cost=outcome.cost,
-                    cold_starts=outcome.cold_starts,
-                    warm_starts=outcome.warm_starts,
+        def current_limit() -> Optional[int]:
+            limit = self.config.max_concurrent_queries
+            for policy in policies:
+                limit = policy.admission_limit(
+                    limit, queue_depth=len(pending), in_flight=in_flight
                 )
-            )
+            return limit
+
+        def admit(now: float) -> None:
+            nonlocal in_flight, seq
+            while pending:
+                limit = current_limit()
+                if limit is not None and in_flight >= limit:
+                    break
+                unit = pending.popleft()
+                outcomes = self.backend.execute_batch(list(unit), at_time=now)
+                finished = now + outcomes[0].latency_seconds
+                group = tuple(query.query_id for query in unit) if len(unit) > 1 else ()
+                for query, outcome in zip(unit, outcomes):
+                    if outcome.channel_stats is not None:
+                        channel_total.accumulate(outcome.channel_stats)
+                    records.append(
+                        QueryRecord(
+                            query_id=query.query_id,
+                            neurons=query.neurons,
+                            samples=query.samples,
+                            arrival_time=query.arrival_time,
+                            started_at=now,
+                            finished_at=now + outcome.latency_seconds,
+                            cost=outcome.cost,
+                            cold_starts=outcome.cold_starts,
+                            warm_starts=outcome.warm_starts,
+                            coalesced_group=group,
+                        )
+                    )
+                in_flight += 1
+                heapq.heappush(events, (finished, _COMPLETION, seq, None))
+                seq += 1
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == _ARRIVAL:
+                assert payload is not None
+                decision = None
+                for policy in policies:
+                    decision = policy.on_arrival(payload, now)
+                    if decision is not None:
+                        break
+                if decision is None:
+                    pending.append((payload,))
+                elif decision.tick_at is not None:
+                    heapq.heappush(events, (decision.tick_at, _POLICY_TICK, seq, None))
+                    seq += 1
+            elif kind == _COMPLETION:
+                in_flight -= 1
+                for policy in policies:
+                    policy.on_completion(
+                        now, in_flight=in_flight, queue_depth=len(pending)
+                    )
+            else:  # policy tick
+                for policy in policies:
+                    for unit in policy.on_tick(now):
+                        if unit:
+                            pending.append(tuple(unit))
+            admit(now)
 
         cost = self.backend.finish()
         return ServingReport(

@@ -12,7 +12,12 @@ from .graph_challenge import (
     generate_input_batch,
     paper_configuration,
 )
-from .sporadic import InferenceQuery, SporadicWorkload, generate_sporadic_workload
+from .sporadic import (
+    InferenceQuery,
+    SporadicWorkload,
+    generate_sporadic_workload,
+    merge_queries,
+)
 
 __all__ = [
     "GraphChallengeConfig",
@@ -28,4 +33,5 @@ __all__ = [
     "InferenceQuery",
     "SporadicWorkload",
     "generate_sporadic_workload",
+    "merge_queries",
 ]

@@ -20,19 +20,58 @@ import numpy as np
 
 from .graph_challenge import PAPER_BATCH_SIZE, PAPER_NEURON_COUNTS
 
-__all__ = ["InferenceQuery", "SporadicWorkload", "generate_sporadic_workload"]
+__all__ = [
+    "InferenceQuery",
+    "SporadicWorkload",
+    "generate_sporadic_workload",
+    "merge_queries",
+]
 
 _SECONDS_PER_DAY = 24 * 3600.0
 
 
 @dataclass(frozen=True)
 class InferenceQuery:
-    """One inference request within a sporadic workload."""
+    """One inference request within a sporadic workload.
+
+    ``merged_from`` carries coalescing provenance: when the serving layer's
+    batching policy folds several same-model queries into one larger request,
+    the synthetic merged query records the original query ids (in arrival
+    order).  Ordinary trace queries leave it empty.
+    """
 
     query_id: int
     arrival_time: float
     neurons: int
     samples: int
+    merged_from: Tuple[int, ...] = ()
+
+    @property
+    def is_merged(self) -> bool:
+        return len(self.merged_from) > 1
+
+
+def merge_queries(queries: Sequence[InferenceQuery]) -> InferenceQuery:
+    """Fold same-model queries into one merged request with provenance.
+
+    The merged query inherits the earliest arrival's id and arrival time (the
+    batch leader -- the query that opened the coalescing window), sums the
+    sample counts, and lists every constituent query id in ``merged_from``.
+    """
+    if not queries:
+        raise ValueError("cannot merge an empty query group")
+    neuron_counts = {query.neurons for query in queries}
+    if len(neuron_counts) != 1:
+        raise ValueError(f"cannot merge queries of mixed model sizes {sorted(neuron_counts)}")
+    ordered = sorted(queries, key=lambda q: (q.arrival_time, q.query_id))
+    leader = ordered[0]
+    return InferenceQuery(
+        query_id=leader.query_id,
+        arrival_time=leader.arrival_time,
+        neurons=leader.neurons,
+        samples=sum(query.samples for query in ordered),
+        merged_from=tuple(query.query_id for query in ordered),
+    )
 
 
 @dataclass

@@ -1,0 +1,438 @@
+"""Tests for the serving policy engine (coalescing, autoscaling, event loop).
+
+Locks the three contracts ISSUE 3 introduced:
+
+1. *Policies-off identity*: the event-driven scheduler with no policies is
+   byte-identical to the PR 2 inline admission loop (reimplemented here as a
+   reference), so every pre-policy fingerprint stays valid.
+2. *Batch coalescing*: same-model queries inside the window merge into one
+   backend execution with exact cost attribution and provenance; window
+   boundaries behave as specified (zero window = no batching, deadline
+   arrivals start the next window, mixed sizes never merge) and the
+   analytical cost model can veto merging.
+3. *Queue-depth autoscaling*: the admission limit responds monotonically to
+   queue depth and supersedes the static bound.
+"""
+
+import heapq
+
+import pytest
+
+from repro import (
+    BatchCoalescingPolicy,
+    CloudEnvironment,
+    CoalescingProfile,
+    EngineConfig,
+    FSDServingBackend,
+    InferenceQuery,
+    InferenceServer,
+    QueryWorkloadFactory,
+    QueueDepthAutoscaler,
+    ServingConfig,
+    SporadicWorkload,
+    Variant,
+    generate_sporadic_workload,
+    merge_queries,
+    recommend_coalescing,
+)
+from repro.serving import QueryRecord
+
+
+@pytest.fixture
+def serial_backend(tiny_model_policies):
+    def build(cloud=None):
+        return FSDServingBackend(
+            cloud or CloudEnvironment(),
+            QueryWorkloadFactory(model_builder=lambda neurons: tiny_model_policies),
+            config_for=lambda neurons: EngineConfig(variant=Variant.SERIAL, workers=1),
+        )
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def tiny_model_policies():
+    from repro import GraphChallengeConfig, build_graph_challenge_model
+
+    config = GraphChallengeConfig(
+        neurons=64, layers=2, nnz_per_row=4, num_communities=4, seed=7
+    )
+    return build_graph_challenge_model(config)
+
+
+def _coalescing_server(backend, window_seconds, **kwargs):
+    policy = BatchCoalescingPolicy(window_seconds=window_seconds, **kwargs)
+    return InferenceServer(backend, ServingConfig(policies=(policy,))), policy
+
+
+class TestMergeQueries:
+    def test_provenance_and_samples(self):
+        queries = [
+            InferenceQuery(5, 30.0, 64, 4),
+            InferenceQuery(2, 10.0, 64, 8),
+        ]
+        merged = merge_queries(queries)
+        assert merged.query_id == 2  # earliest arrival leads
+        assert merged.arrival_time == 10.0
+        assert merged.samples == 12
+        assert merged.merged_from == (2, 5)
+        assert merged.is_merged
+        assert not queries[0].is_merged
+
+    def test_mixed_model_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            merge_queries([InferenceQuery(0, 0.0, 64, 4), InferenceQuery(1, 1.0, 128, 4)])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            merge_queries([])
+
+
+class TestPoliciesOffRegression:
+    """The event loop with no policies IS the PR 2 inline admission loop."""
+
+    @staticmethod
+    def _reference_serve(backend, workload, max_concurrent_queries):
+        """The pre-event-loop scheduler, verbatim from PR 2."""
+        backend.begin(workload)
+        in_flight = []
+        records = []
+        for query in workload.iter_trace():
+            start = query.arrival_time
+            while in_flight and in_flight[0] <= start:
+                heapq.heappop(in_flight)
+            if max_concurrent_queries is not None:
+                while len(in_flight) >= max_concurrent_queries:
+                    start = max(start, heapq.heappop(in_flight))
+            outcome = backend.execute(query, at_time=start)
+            finished = start + outcome.latency_seconds
+            heapq.heappush(in_flight, finished)
+            records.append(
+                QueryRecord(
+                    query_id=query.query_id,
+                    neurons=query.neurons,
+                    samples=query.samples,
+                    arrival_time=query.arrival_time,
+                    started_at=start,
+                    finished_at=finished,
+                    cost=outcome.cost,
+                    cold_starts=outcome.cold_starts,
+                    warm_starts=outcome.warm_starts,
+                )
+            )
+        return records, backend.finish()
+
+    @pytest.mark.parametrize("limit", [None, 1, 2])
+    def test_event_loop_matches_reference_byte_for_byte(self, serial_backend, limit):
+        workload = generate_sporadic_workload(
+            daily_samples=30 * 4, batch_size=4, neuron_counts=(64,), seed=17
+        )
+        reference_records, reference_cost = self._reference_serve(
+            serial_backend(), workload, limit
+        )
+        report = InferenceServer(
+            serial_backend(), ServingConfig(max_concurrent_queries=limit)
+        ).serve(workload)
+        assert report.records == reference_records
+        assert report.cost.total == reference_cost.total
+        assert report.cost.by_service == reference_cost.by_service
+
+    def test_policy_free_summary_has_no_policy_keys(self, serial_backend):
+        workload = SporadicWorkload(queries=[InferenceQuery(0, 0.0, 64, 4)])
+        summary = InferenceServer(serial_backend()).serve(workload).summary()
+        assert "policies" not in summary
+        assert set(summary) == {
+            "backend",
+            "num_queries",
+            "total_samples",
+            "cost_total",
+            "p50_latency_seconds",
+            "p95_latency_seconds",
+            "p99_latency_seconds",
+            "makespan_seconds",
+            "cold_start_count",
+            "warm_start_count",
+            "peak_concurrent_queries",
+            "peak_concurrent_workers",
+        }
+
+
+class TestBatchCoalescing:
+    def test_queries_inside_window_merge_into_one_execution(self, serial_backend):
+        queries = [InferenceQuery(i, 10.0 * i, 64, 4) for i in range(3)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        server, policy = _coalescing_server(serial_backend(), window_seconds=60.0)
+        report = server.serve(workload)
+
+        assert report.execution_count == 1
+        assert report.coalesced_query_count == 3
+        assert policy.released == [(64, 3)]
+        for record in report.records:
+            assert record.coalesced_group == (0, 1, 2)
+            # The batch starts when the window closes (leader arrival + window).
+            assert record.started_at == 60.0
+        # Every query observes the merged completion relative to its own arrival.
+        latencies = [record.latency_seconds for record in report.records]
+        assert latencies[0] > latencies[1] > latencies[2]
+
+    def test_merged_cost_attribution_is_exact_and_cheaper(self, serial_backend):
+        queries = [InferenceQuery(i, 5.0 * i, 64, 4) for i in range(4)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        unbatched = InferenceServer(serial_backend()).serve(workload)
+        server, _ = _coalescing_server(serial_backend(), window_seconds=120.0)
+        coalesced = server.serve(workload)
+
+        # Per-query shares sum back to the ledger total of the serve (exact up
+        # to one ulp of re-summation order).
+        assert sum(r.cost for r in coalesced.records) == pytest.approx(
+            coalesced.cost.total, rel=1e-12
+        )
+        # Figure-4 economics: one merged request beats four separate ones.
+        assert coalesced.cost.total < unbatched.cost.total
+        # The single merged execution launched once: one cold start in total.
+        assert coalesced.cold_start_count + coalesced.warm_start_count == 1
+
+    def test_zero_window_equals_no_batching(self, serial_backend):
+        # Includes two queries arriving at the exact same instant: with a
+        # zero-second window the release tick still precedes them.
+        queries = [
+            InferenceQuery(0, 0.0, 64, 4),
+            InferenceQuery(1, 0.0, 64, 4),
+            InferenceQuery(2, 50.0, 64, 4),
+        ]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        plain = InferenceServer(serial_backend()).serve(workload)
+        server, _ = _coalescing_server(serial_backend(), window_seconds=0.0)
+        zero = server.serve(workload)
+
+        assert zero.execution_count == 3
+        assert zero.coalesced_query_count == 0
+        assert [
+            (r.query_id, r.started_at, r.finished_at, r.cost) for r in zero.records
+        ] == [(r.query_id, r.started_at, r.finished_at, r.cost) for r in plain.records]
+
+    def test_query_straddling_the_window_starts_a_new_batch(self, serial_backend):
+        queries = [
+            InferenceQuery(0, 0.0, 64, 4),
+            InferenceQuery(1, 30.0, 64, 4),   # inside the window: merges
+            InferenceQuery(2, 60.0, 64, 4),   # exactly at the deadline: next window
+            InferenceQuery(3, 200.0, 64, 4),  # far outside: alone
+        ]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        server, policy = _coalescing_server(serial_backend(), window_seconds=60.0)
+        report = server.serve(workload)
+
+        groups = [record.coalesced_group for record in report.records]
+        assert groups[0] == (0, 1) and groups[1] == (0, 1)
+        assert groups[2] == () and groups[3] == ()
+        assert report.execution_count == 3
+        assert policy.released == [(64, 2), (64, 1), (64, 1)]
+
+    def test_mixed_model_sizes_never_merge(self, tiny_model_policies):
+        from repro import GraphChallengeConfig, build_graph_challenge_model
+
+        other = build_graph_challenge_model(
+            GraphChallengeConfig(
+                neurons=128, layers=2, nnz_per_row=4, num_communities=4, seed=7
+            )
+        )
+        models = {64: tiny_model_policies, 128: other}
+        backend = FSDServingBackend(
+            CloudEnvironment(),
+            QueryWorkloadFactory(model_builder=lambda neurons: models[neurons]),
+            config_for=lambda neurons: EngineConfig(variant=Variant.SERIAL, workers=1),
+        )
+        queries = [
+            InferenceQuery(0, 0.0, 64, 4),
+            InferenceQuery(1, 1.0, 128, 4),
+            InferenceQuery(2, 2.0, 64, 4),
+        ]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        server, _ = _coalescing_server(backend, window_seconds=60.0)
+        report = server.serve(workload)
+
+        by_id = {record.query_id: record for record in report.records}
+        assert by_id[0].coalesced_group == (0, 2)
+        assert by_id[2].coalesced_group == (0, 2)
+        assert by_id[1].coalesced_group == ()
+        assert report.execution_count == 2
+
+    def test_full_batch_closes_the_window_early(self, serial_backend):
+        queries = [InferenceQuery(i, float(i), 64, 4) for i in range(3)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        server, policy = _coalescing_server(
+            serial_backend(), window_seconds=500.0, max_batch_queries=2
+        )
+        report = server.serve(workload)
+
+        assert policy.released == [(64, 2), (64, 1)]
+        by_id = {record.query_id: record for record in report.records}
+        # The full batch flushed at the second arrival, not at the deadline.
+        assert by_id[0].started_at == 1.0 and by_id[1].started_at == 1.0
+        # The leftover query waited out its own full window.
+        assert by_id[2].started_at == 2.0 + 500.0
+
+    def test_cost_model_gate_vetoes_uneconomical_merging(self, serial_backend):
+        # A profile where the merged batch forces much larger workers, so the
+        # gb-second growth swamps the saved invocation charges.
+        losing = CoalescingProfile(
+            variant=Variant.SERIAL,
+            workers=1,
+            layers=2,
+            per_query_runtime_seconds=10.0,
+            worker_memory_mb=512.0,
+            merged_worker_memory_mb=512.0 * 64,
+        )
+        assert not recommend_coalescing(losing).merge
+
+        queries = [InferenceQuery(i, 10.0 * i, 64, 4) for i in range(3)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        server, policy = _coalescing_server(
+            serial_backend(), window_seconds=60.0, profile_for=lambda query: losing
+        )
+        report = server.serve(workload)
+        assert report.execution_count == 3
+        assert report.coalesced_query_count == 0
+        assert policy.released == []
+
+    def test_batch_cap_of_one_equals_no_batching(self, serial_backend):
+        queries = [InferenceQuery(i, 5.0 * i, 64, 4) for i in range(3)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        plain = InferenceServer(serial_backend()).serve(workload)
+        server, policy = _coalescing_server(
+            serial_backend(), window_seconds=100.0, max_batch_queries=1
+        )
+        capped = server.serve(workload)
+
+        assert capped.execution_count == 3
+        assert capped.coalesced_query_count == 0
+        assert policy.released == []
+        # No query is ever held: timing and cost match the policy-free replay.
+        assert [
+            (r.query_id, r.started_at, r.finished_at, r.cost) for r in capped.records
+        ] == [(r.query_id, r.started_at, r.finished_at, r.cost) for r in plain.records]
+
+    def test_peak_concurrent_queries_counts_batch_members_beyond_the_bound(
+        self, serial_backend
+    ):
+        """The admission bound gates executions; merged batches count once
+        against it, while the report's peak counts client-visible queries."""
+        queries = [InferenceQuery(i, float(i), 64, 4) for i in range(4)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        report = InferenceServer(
+            serial_backend(),
+            ServingConfig(
+                max_concurrent_queries=1,
+                policies=(BatchCoalescingPolicy(window_seconds=10.0),),
+            ),
+        ).serve(workload)
+        assert report.execution_count == 1
+        assert report.peak_concurrent_queries == 4
+
+    def test_invalid_policy_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BatchCoalescingPolicy(window_seconds=-1.0)
+        with pytest.raises(ValueError):
+            BatchCoalescingPolicy(window_seconds=1.0, max_batch_queries=0)
+
+
+class TestRecommendCoalescing:
+    def test_linear_scaling_merge_wins_on_fixed_charges(self):
+        profile = CoalescingProfile(
+            variant=Variant.SERIAL,
+            workers=1,
+            layers=2,
+            per_query_runtime_seconds=5.0,
+            worker_memory_mb=1024.0,
+            batch_queries=4,
+        )
+        recommendation = recommend_coalescing(profile)
+        assert recommendation.merge
+        assert recommendation.merged_cost < recommendation.split_cost
+        assert recommendation.predicted_saving > 0
+        assert "once instead of per query" in recommendation.reason
+
+    def test_distributed_variant_also_wins_via_coordinator_and_polling(self):
+        profile = CoalescingProfile(
+            variant=Variant.QUEUE,
+            workers=4,
+            layers=6,
+            per_query_runtime_seconds=3.0,
+            worker_memory_mb=2048.0,
+            per_query_comm_bytes=64 * 1024.0,
+            per_query_transfers=24,
+            batch_queries=3,
+        )
+        assert recommend_coalescing(profile).merge
+
+    def test_batch_of_one_rejected(self):
+        with pytest.raises(ValueError):
+            CoalescingProfile(
+                variant=Variant.SERIAL,
+                workers=1,
+                layers=2,
+                per_query_runtime_seconds=1.0,
+                worker_memory_mb=512.0,
+                batch_queries=1,
+            )
+
+
+class TestQueueDepthAutoscaler:
+    def test_desired_limit_is_monotone_in_queue_depth(self):
+        policy = QueueDepthAutoscaler(min_limit=1, max_limit=6, queries_per_slot=2)
+        limits = [policy.desired_limit(depth) for depth in range(0, 40)]
+        assert limits[0] == 1
+        assert all(b >= a for a, b in zip(limits, limits[1:]))
+        assert max(limits) == 6  # capped
+
+    def test_burst_scales_admission_beyond_min_limit(self, serial_backend):
+        queries = [InferenceQuery(i, 0.0, 64, 4) for i in range(10)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        policy = QueueDepthAutoscaler(min_limit=1, max_limit=4, queries_per_slot=2)
+        report = InferenceServer(
+            serial_backend(), ServingConfig(policies=(policy,))
+        ).serve(workload)
+
+        assert report.num_queries == 10
+        # The deep queue raised the limit above the floor...
+        assert report.peak_concurrent_queries > 1
+        # ...but never past the ceiling.
+        assert report.peak_concurrent_queries <= 4
+        assert max(limit for _, limit in policy.observations) == 4
+        observed_depths = [depth for depth, _ in policy.observations]
+        assert max(observed_depths) > 1
+
+    def test_autoscaler_supersedes_static_bound(self, serial_backend):
+        queries = [InferenceQuery(i, 0.0, 64, 4) for i in range(6)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        policy = QueueDepthAutoscaler(min_limit=2, max_limit=3, queries_per_slot=2)
+        report = InferenceServer(
+            serial_backend(),
+            ServingConfig(max_concurrent_queries=1, policies=(policy,)),
+        ).serve(workload)
+        # The static bound of 1 would have serialised everything.
+        assert report.peak_concurrent_queries >= 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler(min_limit=0)
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler(min_limit=4, max_limit=2)
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler(queries_per_slot=0)
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler().desired_limit(-1)
+
+    def test_composes_with_coalescing(self, serial_backend):
+        """Coalescing holds queries; the autoscaler paces merged admissions."""
+        queries = [InferenceQuery(i, float(i), 64, 4) for i in range(6)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        coalesce = BatchCoalescingPolicy(window_seconds=10.0)
+        autoscale = QueueDepthAutoscaler(min_limit=1, max_limit=2, queries_per_slot=1)
+        report = InferenceServer(
+            serial_backend(), ServingConfig(policies=(coalesce, autoscale))
+        ).serve(workload)
+        assert report.num_queries == 6
+        assert report.coalesced_query_count == 6
+        assert report.execution_count < 6
+        assert sum(r.cost for r in report.records) == pytest.approx(report.cost.total)

@@ -386,3 +386,167 @@ class TestPeakOverlap:
 
     def test_empty(self):
         assert peak_overlap([]) == 0
+
+    def test_zero_length_interval_counts_as_momentarily_active(self):
+        """An instantaneous query must not vanish from peak concurrency."""
+        assert peak_overlap([(5.0, 5.0)]) == 1
+
+    def test_zero_length_interval_overlaps_a_strictly_containing_interval(self):
+        assert peak_overlap([(0.0, 10.0), (5.0, 5.0)]) == 2
+
+    def test_zero_length_interval_touching_endpoints_does_not_overlap(self):
+        # The touching rule applies to instants too: a zero-length interval at
+        # another interval's start (or end) releases/claims its slot cleanly.
+        assert peak_overlap([(5.0, 5.0), (5.0, 10.0)]) == 1
+        assert peak_overlap([(0.0, 5.0), (5.0, 5.0)]) == 1
+
+    def test_coinciding_zero_length_intervals_are_concurrent(self):
+        assert peak_overlap([(3.0, 3.0), (3.0, 3.0)]) == 2
+
+    def test_zero_length_does_not_inflate_a_larger_peak_elsewhere(self):
+        assert peak_overlap([(0.0, 10.0), (1.0, 9.0), (20.0, 20.0)]) == 2
+
+    def test_instantaneous_queries_visible_in_served_peaks(self, tiny_model):
+        """End-to-end: a zero-latency backend still reports peak concurrency."""
+
+        from repro.serving import ServingBackend
+        from repro.serving.backends import QueryOutcome
+
+        class InstantBackend(ServingBackend):
+            name = "instant"
+            factory = QueryWorkloadFactory()
+
+            def _execute(self, query, model, batch, at_time):
+                return QueryOutcome(latency_seconds=0.0, cost=0.0)
+
+            def execute(self, query, at_time):  # skip model materialisation
+                return self._execute(query, None, None, at_time)
+
+        workload = SporadicWorkload(
+            queries=[InferenceQuery(0, 10.0, 64, 4), InferenceQuery(1, 10.0, 64, 4)]
+        )
+        report = InferenceServer(InstantBackend()).serve(workload)
+        assert report.peak_concurrent_queries == 2
+
+
+class TestEmptyReportPercentiles:
+    def _empty_report(self):
+        from repro.cloud import CostReport
+        from repro.serving import ServingConfig, ServingReport
+
+        return ServingReport(
+            backend="fsd",
+            config=ServingConfig(),
+            horizon_seconds=0.0,
+            records=[],
+            cost=CostReport(),
+            peak_concurrent_queries=0,
+            peak_concurrent_workers=0,
+        )
+
+    def test_percentiles_of_empty_report_are_nan_not_zero(self):
+        import math
+
+        report = self._empty_report()
+        assert math.isnan(report.latency_percentile(50.0))
+        assert math.isnan(report.p50_latency_seconds)
+        assert math.isnan(report.p95_latency_seconds)
+        assert math.isnan(report.p99_latency_seconds)
+
+    def test_summary_maps_empty_percentiles_to_none(self):
+        import json
+
+        summary = self._empty_report().summary()
+        assert summary["p50_latency_seconds"] is None
+        assert summary["p95_latency_seconds"] is None
+        assert summary["p99_latency_seconds"] is None
+        # The summary stays JSON-serialisable (None, not NaN).
+        json.dumps(summary)
+
+    def test_nonempty_summary_percentiles_are_plain_floats(self, tiny_model):
+        workload = SporadicWorkload(queries=[InferenceQuery(0, 0.0, 64, 4)])
+        summary = (
+            InferenceServer(_serial_backend(CloudEnvironment(), tiny_model))
+            .serve(workload)
+            .summary()
+        )
+        assert isinstance(summary["p50_latency_seconds"], float)
+
+
+class TestChannelStatsAccumulate:
+    def test_accumulate_matches_merge(self):
+        total_merge = ChannelStats()
+        total_accumulate = ChannelStats()
+        parts = [
+            ChannelStats(bytes_sent=10, messages_sent=2, poll_calls=1),
+            ChannelStats(bytes_received=7, get_calls=3),
+            ChannelStats(bytes_sent=5, empty_polls=4, delete_calls=2),
+        ]
+        for part in parts:
+            total_merge = total_merge.merge(part)
+            returned = total_accumulate.accumulate(part)
+            assert returned is total_accumulate
+        assert vars(total_accumulate) == vars(total_merge)
+
+    def test_accumulate_agrees_with_snapshot_delta_bookkeeping(self):
+        # The serving loop's in-place fold must equal reconstructing the same
+        # totals from snapshot()/delta() pairs around each increment.
+        live = ChannelStats(bytes_sent=3)
+        folded = ChannelStats()
+        for increment in (4, 9, 1):
+            before = live.snapshot()
+            live.bytes_sent += increment
+            live.poll_calls += 1
+            folded.accumulate(live.delta(before))
+        assert folded.bytes_sent == 14
+        assert folded.poll_calls == 3
+        assert vars(live.delta(ChannelStats(bytes_sent=3))) == vars(folded)
+
+
+class TestServerBackendColdWarmDerivation:
+    def _serve_mode(self, mode, small_model, small_batch):
+        from repro import ServerMode, ServerServingBackend
+
+        backend = ServerServingBackend(
+            CloudEnvironment(),
+            mode,
+            QueryWorkloadFactory(
+                model_builder=lambda neurons: small_model,
+                batch_builder=lambda neurons, samples: small_batch,
+            ),
+        )
+        workload = SporadicWorkload(
+            queries=[InferenceQuery(0, 0.0, small_model.num_neurons, small_batch.shape[1])]
+        )
+        return InferenceServer(backend).serve(workload)
+
+    def test_always_on_cold_is_a_warm_start(self, small_model, small_batch):
+        """The fleet is already provisioned: reloading the model is not a cold
+        start, it is always-on-cold's steady-state service latency."""
+        from repro import ServerMode
+
+        report = self._serve_mode(ServerMode.ALWAYS_ON_COLD, small_model, small_batch)
+        assert report.cold_start_count == 0
+        assert report.warm_start_count == 1
+
+    def test_always_on_hot_is_a_warm_start(self, small_model, small_batch):
+        from repro import ServerMode
+
+        report = self._serve_mode(ServerMode.ALWAYS_ON_HOT, small_model, small_batch)
+        assert report.cold_start_count == 0
+        assert report.warm_start_count == 1
+
+    def test_job_scoped_provisions_and_is_cold(self, small_model, small_batch):
+        from repro import ServerMode
+
+        report = self._serve_mode(ServerMode.JOB_SCOPED, small_model, small_batch)
+        assert report.cold_start_count == 1
+        assert report.warm_start_count == 0
+
+    def test_provisioned_flag_reflects_what_ran(self, cloud, small_model, small_batch):
+        from repro import ServerMode, run_server_query
+
+        job = run_server_query(cloud, small_model, small_batch, ServerMode.JOB_SCOPED)
+        cold = run_server_query(cloud, small_model, small_batch, ServerMode.ALWAYS_ON_COLD)
+        assert job.provisioned
+        assert not cold.provisioned
