@@ -1,0 +1,247 @@
+"""Experiment-campaign benchmark: scenario grid x backend grid x policy sets.
+
+Replays a grid of arrival-process scenarios (homogeneous Poisson, diurnal
+curve, bursty MMPP, flash crowd) through every serving substrate (FSD on the
+simulated serverless cloud, the job-scoped server baseline, the managed
+endpoint, H-SpFF) with and without scheduling policies, using
+:class:`repro.experiments.Campaign`, and appends one fingerprinted record per
+invocation to ``BENCH_campaign.json`` at the repo root:
+
+* the *wall-clock* seconds to replay the whole grid (cells run concurrently;
+  this is the number perf PRs push down), and
+* the per-cell *simulated* summaries and content fingerprints plus the
+  cross-cell pivots (cost/query, p95 latency, cold-start fraction by
+  scenario x backend), all of which depend only on the scenario seeds and
+  the cost model and must stay bit-for-bit identical across PRs unless the
+  simulated semantics intentionally change.
+
+Shared-timeline invariant check: the Poisson-scenario FSD cell with policies
+off replays the *identical* trace through the *identical* backend as
+``bench_serving.py``'s full run, so its summary must reproduce the
+``pr3-event-loop`` fingerprint recorded in ``BENCH_serving.json`` exactly.
+The full (non ``--quick``) run asserts this on every invocation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py [--quick] [--label NAME]
+        [--serial]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+from common import (  # noqa: E402
+    SERVING_SEED,
+    SERVING_WORKERS,
+    git_rev,
+    scaled_cloud,
+    scaled_latency,
+    serving_batch_builder,
+    serving_bench_workloads,
+    serving_fsd_backend,
+    serving_grid,
+)
+
+from repro import (  # noqa: E402
+    BatchCoalescingPolicy,
+    BurstyProcess,
+    Campaign,
+    DiurnalProcess,
+    EndpointServingBackend,
+    FlashCrowdProcess,
+    HPCServingBackend,
+    PoissonProcess,
+    QueryWorkloadFactory,
+    QueueDepthAutoscaler,
+    Scenario,
+    ServerMode,
+    ServerServingBackend,
+)
+
+RESULT_PATH = _HERE.parent / "BENCH_campaign.json"
+SERVING_RESULT_PATH = _HERE.parent / "BENCH_serving.json"
+#: the policy-free serving fingerprint the Poisson/FSD cell must reproduce.
+SERVING_REFERENCE_LABEL = "pr3-event-loop"
+
+
+def _scenarios(quick: bool) -> list:
+    # The grid (and the Poisson scenario's seed) is bench_serving's trace,
+    # shared via common.py: that is what makes the fingerprint-identity
+    # assertion meaningful.
+    neurons, batch, num_queries = serving_grid(quick)
+    shared = dict(
+        daily_samples=num_queries * batch, batch_size=batch, neuron_counts=neurons
+    )
+    scenarios = [
+        Scenario("poisson", PoissonProcess(), seed=SERVING_SEED, **shared),
+        Scenario(
+            "bursty",
+            BurstyProcess(burst_factor=12.0, mean_quiet_seconds=7200.0, mean_burst_seconds=1200.0),
+            seed=37,
+            **shared,
+        ),
+    ]
+    if not quick:
+        scenarios.extend(
+            [
+                Scenario("diurnal", DiurnalProcess(night_level=0.05), seed=31, **shared),
+                Scenario(
+                    "flash-crowd",
+                    FlashCrowdProcess(
+                        spike_start_fraction=0.55, spike_duration_fraction=0.02, spike_factor=25.0
+                    ),
+                    seed=41,
+                    **shared,
+                ),
+            ]
+        )
+    return scenarios
+
+
+def _backend_factories(quick: bool) -> dict:
+    workloads = serving_bench_workloads(quick)
+    # Pre-build the shared partition plans so concurrently running cells only
+    # ever read the plan cache.
+    for workload in workloads.values():
+        workload.plan_for(SERVING_WORKERS)
+
+    def factory() -> QueryWorkloadFactory:
+        return QueryWorkloadFactory(
+            model_builder=lambda n: workloads[n].model,
+            batch_builder=serving_batch_builder(workloads),
+        )
+
+    factories = {
+        # Identical substrate to bench_serving (shared via common.py): the
+        # Poisson cell's summary must reproduce that bench's fingerprint.
+        "fsd": lambda: serving_fsd_backend(workloads),
+        "server-job": lambda: ServerServingBackend(
+            scaled_cloud(), ServerMode.JOB_SCOPED, factory()
+        ),
+    }
+    if not quick:
+        factories["endpoint"] = lambda: EndpointServingBackend(scaled_cloud(), factory())
+        factories["hpc-4"] = lambda: HPCServingBackend(4, factory(), latency=scaled_latency())
+    return factories
+
+
+def _policy_sets(quick: bool) -> dict:
+    sets = {"none": tuple}
+    if not quick:
+        # Exercises the SLO-capped coalescing window and the hysteretic
+        # autoscaler across the whole grid (policy-tagged fingerprints).
+        sets["slo-coalesce"] = lambda: (
+            BatchCoalescingPolicy(window_seconds=1800.0, max_hold_seconds=900.0),
+            QueueDepthAutoscaler(
+                min_limit=1, max_limit=4, queries_per_slot=2, scale_down_lag_ticks=2
+            ),
+        )
+    return sets
+
+
+def _check_serving_reference(report) -> None:
+    """The Poisson/FSD/no-policy cell must equal BENCH_serving's fingerprint."""
+    if not SERVING_RESULT_PATH.exists():
+        print(f"  (no {SERVING_RESULT_PATH.name}; skipping reference fingerprint check)")
+        return
+    history = json.loads(SERVING_RESULT_PATH.read_text())
+    references = [
+        record
+        for record in history.get("records", [])
+        if record.get("label") == SERVING_REFERENCE_LABEL and not record.get("quick")
+    ]
+    if not references:
+        print(f"  (no '{SERVING_REFERENCE_LABEL}' record; skipping reference fingerprint check)")
+        return
+    reference = references[-1]["replay"]["simulated"]
+    cell = report.cell("poisson", "fsd", "none")
+    if cell.summary != reference:
+        diff = {
+            key: (cell.summary.get(key), reference.get(key))
+            for key in set(cell.summary) | set(reference)
+            if cell.summary.get(key) != reference.get(key)
+        }
+        raise RuntimeError(
+            "shared-timeline invariant violated: the campaign's poisson/fsd/none "
+            f"cell no longer reproduces the '{SERVING_REFERENCE_LABEL}' serving "
+            f"fingerprint; differing keys: {diff}"
+        )
+    print(
+        f"  poisson/fsd/none reproduces the '{SERVING_REFERENCE_LABEL}' serving "
+        "fingerprint exactly (shared-timeline invariant holds)"
+    )
+
+
+def run(quick: bool = False, label: str | None = None, serial: bool = False) -> dict:
+    scenarios = _scenarios(quick)
+    backends = _backend_factories(quick)
+    policy_sets = _policy_sets(quick)
+    campaign = Campaign(scenarios, backends, policy_sets=policy_sets)
+
+    start = time.perf_counter()
+    report = campaign.run(max_workers=1 if serial else None)
+    wall_seconds = time.perf_counter() - start
+
+    if not quick:
+        _check_serving_reference(report)
+
+    record = {
+        "label": label or git_rev(),
+        "git_rev": git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "grid": {
+            "scenarios": [scenario.describe() for scenario in scenarios],
+            "backends": sorted(backends),
+            "policy_sets": sorted(policy_sets),
+        },
+        "wall_seconds": wall_seconds,
+        "campaign": report.to_dict(),
+    }
+
+    history = {"records": []}
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    history.setdefault("records", []).append(record)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(f"campaign benchmark -- label={record['label']} rev={record['git_rev']}")
+    print(
+        f"  {len(report.cells)} cells ({len(scenarios)} scenarios x "
+        f"{len(backends)} backends x {len(policy_sets)} policy sets) "
+        f"replayed in {wall_seconds:.3f}s wall-clock"
+    )
+    for policy_set in report.policy_sets:
+        print()
+        print(report.render_markdown("cost_per_query", policy_set))
+        print()
+        print(report.render_markdown("p95_latency_seconds", policy_set))
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny 2x2 grid (CI smoke)")
+    parser.add_argument("--label", default=None, help="trajectory label for this record")
+    parser.add_argument(
+        "--serial", action="store_true", help="replay cells serially (profiling)"
+    )
+    args = parser.parse_args()
+    run(quick=args.quick, label=args.label, serial=args.serial)
+
+
+if __name__ == "__main__":
+    main()

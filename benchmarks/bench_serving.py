@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import subprocess
 import sys
 import time
 from datetime import datetime, timezone
@@ -39,78 +38,37 @@ _HERE = Path(__file__).resolve().parent
 sys.path.insert(0, str(_HERE))
 sys.path.insert(0, str(_HERE.parent / "src"))
 
-from common import MEMORY_OVERHEAD_MB, build_workload, scaled_cloud, worker_memory_for  # noqa: E402
+from common import (  # noqa: E402
+    SERVING_LAYERS,
+    SERVING_SEED,
+    SERVING_WORKERS,
+    git_rev,
+    serving_bench_workloads,
+    serving_fsd_backend,
+    serving_grid,
+    worker_memory_for,
+)
 
 from repro import (  # noqa: E402
     BatchCoalescingPolicy,
     CoalescingProfile,
-    EngineConfig,
-    FSDServingBackend,
     InferenceServer,
-    QueryWorkloadFactory,
     ServingConfig,
     Variant,
-    generate_input_batch,
     generate_sporadic_workload,
 )
 
 RESULT_PATH = _HERE.parent / "BENCH_serving.json"
 
-#: full trace: >= 100 queries of mixed model sizes over a 24 h horizon.
-FULL_NEURONS = (256, 512)
-FULL_BATCH = 16
-FULL_QUERIES = 104  # 52 queries per model size
-QUICK_NEURONS = (256,)
-QUICK_BATCH = 8
-QUICK_QUERIES = 12
-LAYERS = 6
-WORKERS = 4
-SEED = 29
 
+def _build_server(quick, coalesce_window=None):
+    """An InferenceServer over the scaled bench workloads (queue variant).
 
-def _git_rev() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=_HERE.parent,
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-        return out.stdout.strip() or "unknown"
-    except Exception:
-        return "unknown"
-
-
-def _build_server(neurons, batch_size, coalesce_window=None):
-    """An InferenceServer over the scaled bench workloads (queue variant)."""
-    workloads = {n: build_workload(n, LAYERS, batch_size) for n in neurons}
-
-    def batch_for(n: int, samples: int):
-        batch = workloads[n].batch
-        if samples == batch.shape[1]:
-            return batch
-        if samples < batch.shape[1]:
-            return batch[:, :samples]
-        # Tail-absorbing queries can exceed the prepared width; regenerate
-        # with the build_workload parameters rather than silently truncating.
-        return generate_input_batch(n, samples=samples, density=0.25, seed=11)
-
-    factory = QueryWorkloadFactory(
-        model_builder=lambda n: workloads[n].model,
-        batch_builder=batch_for,
-    )
-    backend = FSDServingBackend(
-        scaled_cloud(),
-        factory,
-        config_for=lambda n: EngineConfig(
-            variant=Variant.QUEUE,
-            workers=WORKERS,
-            worker_memory_mb=worker_memory_for(n),
-            memory_overhead_mb=MEMORY_OVERHEAD_MB,
-        ),
-        plan_for=lambda n, model: workloads[n].plan_for(WORKERS),
-    )
+    The trace/backend substrate is shared with ``bench_campaign.py`` via
+    ``common.py`` -- the campaign's Poisson/FSD cell must reproduce this
+    bench's fingerprint bit-for-bit.
+    """
+    backend = serving_fsd_backend(serving_bench_workloads(quick))
     policies = ()
     if coalesce_window is not None:
         # Gate merging through the analytical cost model: the per-query fixed
@@ -119,8 +77,8 @@ def _build_server(neurons, batch_size, coalesce_window=None):
         def profile_for(query):
             return CoalescingProfile(
                 variant=Variant.QUEUE,
-                workers=WORKERS,
-                layers=LAYERS,
+                workers=SERVING_WORKERS,
+                layers=SERVING_LAYERS,
                 per_query_runtime_seconds=2.5,
                 worker_memory_mb=worker_memory_for(query.neurons),
             )
@@ -132,16 +90,14 @@ def _build_server(neurons, batch_size, coalesce_window=None):
 
 
 def _replay(quick: bool, coalesce_window: float | None = None) -> dict:
-    neurons = QUICK_NEURONS if quick else FULL_NEURONS
-    batch_size = QUICK_BATCH if quick else FULL_BATCH
-    num_queries = QUICK_QUERIES if quick else FULL_QUERIES
+    neurons, batch_size, num_queries = serving_grid(quick)
     workload = generate_sporadic_workload(
         daily_samples=num_queries * batch_size,
         batch_size=batch_size,
         neuron_counts=neurons,
-        seed=SEED,
+        seed=SERVING_SEED,
     )
-    server = _build_server(neurons, batch_size, coalesce_window)
+    server = _build_server(quick, coalesce_window)
 
     start = time.perf_counter()
     report = server.serve(workload)
@@ -171,8 +127,8 @@ def run(
     coalesce_window: float | None = None,
 ) -> dict:
     record = {
-        "label": label or _git_rev(),
-        "git_rev": _git_rev(),
+        "label": label or git_rev(),
+        "git_rev": git_rev(),
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick": quick,
         "replay": _replay(quick, coalesce_window),

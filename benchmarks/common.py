@@ -26,7 +26,9 @@ paper's figures.
 from __future__ import annotations
 
 import os
+import subprocess
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from dataclasses import replace
@@ -237,3 +239,88 @@ def _fmt(value: object) -> str:
             return f"{value:.3e}"
         return f"{value:.4g}"
     return str(value)
+
+
+def git_rev() -> str:
+    """Short git revision of the repo (benchmark record provenance)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+# -- shared serving-bench substrate -------------------------------------------
+#
+# bench_serving.py and bench_campaign.py must replay the SAME trace through
+# the SAME FSD backend: the campaign's poisson/fsd/no-policy cell is asserted
+# to reproduce bench_serving's recorded fingerprint bit-for-bit, so the grid
+# constants and backend construction live here, in exactly one place.
+
+#: full serving trace: >= 100 queries of mixed model sizes over a 24 h horizon.
+SERVING_FULL_NEURONS = (256, 512)
+SERVING_FULL_BATCH = 16
+SERVING_FULL_QUERIES = 104  # 52 queries per model size
+SERVING_QUICK_NEURONS = (256,)
+SERVING_QUICK_BATCH = 8
+SERVING_QUICK_QUERIES = 12
+SERVING_LAYERS = 6
+SERVING_WORKERS = 4
+#: arrival seed of the serving trace (and of the campaign's Poisson scenario).
+SERVING_SEED = 29
+
+
+def serving_grid(quick: bool) -> Tuple[Tuple[int, ...], int, int]:
+    """(neuron counts, batch size, query count) of the serving benchmarks."""
+    if quick:
+        return SERVING_QUICK_NEURONS, SERVING_QUICK_BATCH, SERVING_QUICK_QUERIES
+    return SERVING_FULL_NEURONS, SERVING_FULL_BATCH, SERVING_FULL_QUERIES
+
+
+def serving_bench_workloads(quick: bool) -> Dict[int, BenchWorkload]:
+    """The prepared per-size bench workloads the serving benchmarks share."""
+    neurons, batch_size, _ = serving_grid(quick)
+    return {n: build_workload(n, SERVING_LAYERS, batch_size) for n in neurons}
+
+
+def serving_batch_builder(workloads: Dict[int, BenchWorkload]):
+    """``QueryWorkloadFactory`` batch builder over prepared bench workloads."""
+
+    def batch_for(neurons: int, samples: int):
+        prepared = workloads[neurons].batch
+        if samples == prepared.shape[1]:
+            return prepared
+        if samples < prepared.shape[1]:
+            return prepared[:, :samples]
+        # Tail-absorbing queries can exceed the prepared width; regenerate
+        # with the build_workload parameters rather than silently truncating.
+        return generate_input_batch(neurons, samples=samples, density=0.25, seed=11)
+
+    return batch_for
+
+
+def serving_fsd_backend(workloads: Dict[int, BenchWorkload]):
+    """The serving benchmarks' FSD backend (fresh scaled cloud per call)."""
+    from repro import FSDServingBackend, QueryWorkloadFactory
+
+    factory = QueryWorkloadFactory(
+        model_builder=lambda n: workloads[n].model,
+        batch_builder=serving_batch_builder(workloads),
+    )
+    return FSDServingBackend(
+        scaled_cloud(),
+        factory,
+        config_for=lambda n: EngineConfig(
+            variant=Variant.QUEUE,
+            workers=SERVING_WORKERS,
+            worker_memory_mb=worker_memory_for(n),
+            memory_overhead_mb=MEMORY_OVERHEAD_MB,
+        ),
+        plan_for=lambda n, model: workloads[n].plan_for(SERVING_WORKERS),
+    )

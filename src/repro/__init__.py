@@ -72,7 +72,24 @@ from .costmodel import (
     recommend_variant,
     validate_cost_model,
 )
+from .experiments import (
+    Campaign,
+    CampaignCell,
+    CampaignReport,
+    CellResult,
+)
 from .model import SparseDNN
+from .scenarios import (
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    MixtureScenario,
+    PoissonProcess,
+    Scenario,
+    TraceProcess,
+    build_scenario_workload,
+)
 from .serving import (
     BatchCoalescingPolicy,
     EndpointServingBackend,
@@ -157,6 +174,21 @@ __all__ = [
     "Partitioner",
     "RandomPartitioner",
     "evaluate_plan",
+    # scenarios
+    "ArrivalProcess",
+    "BurstyProcess",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
+    "MixtureScenario",
+    "PoissonProcess",
+    "Scenario",
+    "TraceProcess",
+    "build_scenario_workload",
+    # experiments
+    "Campaign",
+    "CampaignCell",
+    "CampaignReport",
+    "CellResult",
     # serving
     "BatchCoalescingPolicy",
     "EndpointServingBackend",

@@ -1,0 +1,24 @@
+"""Experiment campaigns: replay scenario grids through the serving layer.
+
+:class:`Campaign` sweeps (scenario x backend factory x policy set) grids --
+each cell a full :class:`~repro.serving.InferenceServer` replay on a private
+cloud timeline, parallelised across cells -- and produces a
+:class:`CampaignReport` with per-cell fingerprints, cross-cell pivots, JSON
+export and markdown rendering.
+"""
+
+from .campaign import (
+    PIVOT_METRICS,
+    Campaign,
+    CampaignCell,
+    CampaignReport,
+    CellResult,
+)
+
+__all__ = [
+    "PIVOT_METRICS",
+    "Campaign",
+    "CampaignCell",
+    "CampaignReport",
+    "CellResult",
+]

@@ -1,0 +1,34 @@
+"""Scenario library: diverse seeded arrival processes for the serving layer.
+
+Every generator emits a standard :class:`~repro.workloads.SporadicWorkload`,
+so the serving layer (:class:`~repro.serving.InferenceServer`, all backends
+and policies) replays any scenario unchanged.  The campaign runner in
+:mod:`repro.experiments` sweeps grids of these scenarios against backend and
+policy choices.
+"""
+
+from .processes import (
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    PoissonProcess,
+    TraceProcess,
+)
+from .scenario import (
+    MixtureScenario,
+    Scenario,
+    build_scenario_workload,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyProcess",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
+    "PoissonProcess",
+    "TraceProcess",
+    "MixtureScenario",
+    "Scenario",
+    "build_scenario_workload",
+]

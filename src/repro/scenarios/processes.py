@@ -1,0 +1,459 @@
+"""Seeded arrival-process generators behind one ``ArrivalProcess`` protocol.
+
+The paper's whole sporadic-workload argument (Section VI-C, Figure 4) hinges
+on *when* queries arrive: warm-pool hits, coalescing windows and autoscaler
+behaviour all depend on the gaps between requests.  A single homogeneous
+Poisson trace exercises exactly one arrival shape, so every process here
+generates a different one:
+
+* :class:`PoissonProcess` -- the classic homogeneous baseline (uniform order
+  statistics over the horizon);
+* :class:`DiurnalProcess` -- an inhomogeneous Poisson process, sampled by
+  thinning candidate arrivals against a day/night intensity curve;
+* :class:`BurstyProcess` -- a two-state Markov-modulated Poisson process
+  (MMPP): quiet and burst regimes with exponential dwell times, arrivals
+  drawn from the realised piecewise-constant intensity path;
+* :class:`FlashCrowdProcess` -- baseline Poisson plus a spike window at
+  ``spike_factor`` times the baseline rate;
+* :class:`TraceProcess` -- replay of recorded arrival timestamps from a JSON
+  or CSV file.
+
+Every process is *count-conditioned*: given a query count, a horizon and a
+seeded :class:`numpy.random.Generator` it returns exactly that many sorted
+arrival timestamps inside ``[0, horizon]``.  Conditioning on the count keeps
+the scenario layer's sample accounting exact (a scenario always serves its
+configured daily volume -- only the *shape* of the arrivals changes) and is
+statistically faithful: a (possibly inhomogeneous) Poisson process
+conditioned on its arrival count draws arrivals i.i.d. from the normalised
+intensity.
+
+Everything is deterministic under a fixed seed: identical inputs produce
+identical timestamp arrays, which is what makes campaign fingerprints
+reproducible.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "DiurnalProcess",
+    "BurstyProcess",
+    "FlashCrowdProcess",
+    "TraceProcess",
+]
+
+
+def _validate_request(count: int, horizon_seconds: float) -> None:
+    if count < 0:
+        raise ValueError(f"arrival count cannot be negative, got {count}")
+    if horizon_seconds <= 0:
+        raise ValueError(f"horizon_seconds must be positive, got {horizon_seconds}")
+
+
+class ArrivalProcess(ABC):
+    """Protocol every arrival-process generator implements.
+
+    Implementations must be pure in ``rng``: all randomness flows through the
+    generator argument, so a given seed reproduces the trace bit-for-bit.
+    """
+
+    name: str = "process"
+
+    @abstractmethod
+    def arrival_times(
+        self, count: int, horizon_seconds: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exactly ``count`` sorted arrival timestamps in ``[0, horizon]``."""
+
+    def split_counts(
+        self, counts: Sequence[int], horizon_seconds: float, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        """Arrival arrays for several query populations (one per model size).
+
+        The default draws each population independently, consuming ``rng`` in
+        population order -- exactly the draw pattern of the classic
+        ``generate_sporadic_workload`` generator, which keeps the Poisson
+        scenario byte-identical to it.  :class:`TraceProcess` overrides this
+        to deal its recorded timestamps across the populations instead.
+        """
+        return [self.arrival_times(count, horizon_seconds, rng) for count in counts]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly identity for campaign fingerprints."""
+        return {"name": self.name}
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals (uniform order statistics).
+
+    Conditioned on the count, a homogeneous Poisson process over a horizon is
+    exactly ``count`` i.i.d. uniform draws, sorted -- the same draw the
+    classic sporadic generator has always made, so this process reproduces it
+    bit-for-bit under the same seed.
+    """
+
+    name = "poisson"
+
+    def arrival_times(
+        self, count: int, horizon_seconds: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        _validate_request(count, horizon_seconds)
+        return np.sort(rng.uniform(0.0, horizon_seconds, size=count))
+
+
+class DiurnalProcess(ArrivalProcess):
+    """Inhomogeneous Poisson arrivals thinned against a day/night curve.
+
+    The relative intensity is a raised cosine peaking at
+    ``peak_time_fraction`` of the period and bottoming out at
+    ``night_level`` (relative to the peak).  Candidates are drawn uniformly
+    over the horizon and accepted with probability ``intensity / peak``
+    (thinning); accepted arrivals therefore follow the inhomogeneous process
+    conditioned on the requested count.
+
+    ``period_seconds`` defaults to the horizon, so a one-day horizon gets one
+    day/night cycle; a multi-day horizon can fix ``period_seconds=86400`` to
+    repeat the daily curve.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        peak_time_fraction: float = 0.6,
+        night_level: float = 0.1,
+        period_seconds: Optional[float] = None,
+    ):
+        if not 0.0 <= peak_time_fraction <= 1.0:
+            raise ValueError("peak_time_fraction must lie in [0, 1]")
+        if not 0.0 < night_level <= 1.0:
+            raise ValueError("night_level must lie in (0, 1] (zero would never thin-accept at night)")
+        if period_seconds is not None and period_seconds <= 0:
+            raise ValueError("period_seconds must be positive")
+        self.peak_time_fraction = peak_time_fraction
+        self.night_level = night_level
+        self.period_seconds = period_seconds
+
+    def intensity(self, times: np.ndarray, horizon_seconds: float) -> np.ndarray:
+        """Relative intensity in ``[night_level, 1]`` at each timestamp."""
+        period = self.period_seconds if self.period_seconds is not None else horizon_seconds
+        phase = 2.0 * np.pi * (np.asarray(times, dtype=np.float64) / period - self.peak_time_fraction)
+        return self.night_level + (1.0 - self.night_level) * 0.5 * (1.0 + np.cos(phase))
+
+    def arrival_times(
+        self, count: int, horizon_seconds: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        _validate_request(count, horizon_seconds)
+        accepted: List[np.ndarray] = []
+        need = count
+        while need > 0:
+            draw = max(64, 2 * need)
+            candidates = rng.uniform(0.0, horizon_seconds, size=draw)
+            accept = rng.uniform(0.0, 1.0, size=draw) <= self.intensity(candidates, horizon_seconds)
+            kept = candidates[accept]
+            accepted.append(kept)
+            need -= kept.size
+        times = np.concatenate(accepted)[:count] if accepted else np.empty(0, dtype=np.float64)
+        return np.sort(times)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "peak_time_fraction": self.peak_time_fraction,
+            "night_level": self.night_level,
+            "period_seconds": self.period_seconds,
+        }
+
+
+def _sample_piecewise_constant(
+    bounds: np.ndarray, rates: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` sorted draws from a piecewise-constant intensity profile.
+
+    ``bounds`` has one more entry than ``rates``; segment ``i`` spans
+    ``[bounds[i], bounds[i+1])`` at relative rate ``rates[i]``.  Conditioned
+    on the count, arrivals are i.i.d. with density proportional to the
+    intensity, so the inverse-CDF over the cumulative mass is exact.
+    """
+    widths = np.diff(bounds)
+    mass = widths * rates
+    cumulative = np.concatenate([[0.0], np.cumsum(mass)])
+    total = cumulative[-1]
+    if total <= 0:
+        raise ValueError("intensity profile has no mass over the horizon")
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    draws = rng.uniform(0.0, total, size=count)
+    segment = np.clip(np.searchsorted(cumulative, draws, side="right") - 1, 0, len(rates) - 1)
+    times = bounds[segment] + (draws - cumulative[segment]) / rates[segment]
+    return np.sort(times)
+
+
+class BurstyProcess(ArrivalProcess):
+    """Two-state MMPP: quiet/burst regimes with exponential dwell times.
+
+    The modulating chain alternates quiet and burst regimes whose dwell times
+    are exponential with the configured means; while in a regime, arrivals
+    follow a Poisson process at relative rate 1 (quiet) or ``burst_factor``
+    (burst).  A realised regime path over the horizon gives a
+    piecewise-constant intensity; conditioned on the count, arrivals are then
+    drawn exactly from that path.
+
+    The regime path consumes ``rng`` first (one exponential per dwell), so
+    tests can reconstruct the segments with a same-seeded generator via
+    :meth:`dwell_segments` and check that burst-interval arrivals really are
+    denser than quiet-interval ones.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        burst_factor: float = 10.0,
+        mean_quiet_seconds: float = 3600.0,
+        mean_burst_seconds: float = 600.0,
+        start_in_burst: bool = False,
+    ):
+        if burst_factor <= 1.0:
+            raise ValueError("burst_factor must exceed 1 (the quiet regime's relative rate)")
+        if mean_quiet_seconds <= 0 or mean_burst_seconds <= 0:
+            raise ValueError("dwell-time means must be positive")
+        self.burst_factor = burst_factor
+        self.mean_quiet_seconds = mean_quiet_seconds
+        self.mean_burst_seconds = mean_burst_seconds
+        self.start_in_burst = start_in_burst
+
+    def dwell_segments(
+        self, horizon_seconds: float, rng: np.random.Generator
+    ) -> List[Tuple[float, float, bool]]:
+        """Realised ``(start, end, is_burst)`` regime path over the horizon."""
+        segments: List[Tuple[float, float, bool]] = []
+        time = 0.0
+        in_burst = self.start_in_burst
+        while time < horizon_seconds:
+            mean = self.mean_burst_seconds if in_burst else self.mean_quiet_seconds
+            dwell = float(rng.exponential(mean))
+            end = min(horizon_seconds, time + dwell)
+            if end > time:
+                segments.append((time, end, in_burst))
+            time += dwell
+            in_burst = not in_burst
+        return segments
+
+    def arrival_times(
+        self, count: int, horizon_seconds: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        _validate_request(count, horizon_seconds)
+        segments = self.dwell_segments(horizon_seconds, rng)
+        bounds = np.asarray([segments[0][0]] + [end for _, end, _ in segments], dtype=np.float64)
+        rates = np.asarray(
+            [self.burst_factor if is_burst else 1.0 for _, _, is_burst in segments],
+            dtype=np.float64,
+        )
+        return _sample_piecewise_constant(bounds, rates, count, rng)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "burst_factor": self.burst_factor,
+            "mean_quiet_seconds": self.mean_quiet_seconds,
+            "mean_burst_seconds": self.mean_burst_seconds,
+            "start_in_burst": self.start_in_burst,
+        }
+
+
+class FlashCrowdProcess(ArrivalProcess):
+    """Baseline Poisson plus one spike window at ``spike_factor`` x the rate.
+
+    Models a flash crowd (a viral link, a market open): arrivals follow the
+    baseline rate except inside
+    ``[spike_start_fraction, spike_start_fraction + spike_duration_fraction]``
+    of the horizon, where the rate jumps by ``spike_factor``.  Conditioned on
+    the count, arrivals are drawn exactly from that three-segment profile.
+    """
+
+    name = "flash-crowd"
+
+    def __init__(
+        self,
+        spike_start_fraction: float = 0.5,
+        spike_duration_fraction: float = 0.02,
+        spike_factor: float = 20.0,
+    ):
+        if not 0.0 <= spike_start_fraction < 1.0:
+            raise ValueError("spike_start_fraction must lie in [0, 1)")
+        if spike_duration_fraction <= 0:
+            raise ValueError("spike_duration_fraction must be positive")
+        if spike_start_fraction + spike_duration_fraction > 1.0:
+            raise ValueError("spike window must end within the horizon")
+        if spike_factor < 1.0:
+            raise ValueError("spike_factor cannot be below the baseline rate of 1")
+        self.spike_start_fraction = spike_start_fraction
+        self.spike_duration_fraction = spike_duration_fraction
+        self.spike_factor = spike_factor
+
+    def spike_window(self, horizon_seconds: float) -> Tuple[float, float]:
+        start = self.spike_start_fraction * horizon_seconds
+        return start, start + self.spike_duration_fraction * horizon_seconds
+
+    def arrival_times(
+        self, count: int, horizon_seconds: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        _validate_request(count, horizon_seconds)
+        spike_start, spike_end = self.spike_window(horizon_seconds)
+        bounds = np.asarray([0.0, spike_start, spike_end, horizon_seconds], dtype=np.float64)
+        rates = np.asarray([1.0, self.spike_factor, 1.0], dtype=np.float64)
+        return _sample_piecewise_constant(bounds, rates, count, rng)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "spike_start_fraction": self.spike_start_fraction,
+            "spike_duration_fraction": self.spike_duration_fraction,
+            "spike_factor": self.spike_factor,
+        }
+
+
+class TraceProcess(ArrivalProcess):
+    """Replay recorded arrival timestamps from memory, JSON or CSV.
+
+    JSON traces are either a bare list of timestamps or an object with an
+    ``"arrival_times"`` key.  CSV traces use the ``arrival_time`` column when
+    a header names one, else the first column; a non-numeric first row is
+    treated as a header.  Timestamps must be finite, non-negative and sorted
+    -- a malformed trace raises immediately instead of misreplaying.
+
+    Replay is deterministic by definition; the ``rng`` argument is ignored.
+    When a scenario spreads queries over several model sizes, the recorded
+    timestamps are dealt round-robin across the sizes in arrival order
+    (:meth:`split_counts`), preserving the exact global arrival sequence.
+
+    Replay is *strict by default*: a request must consume the whole trace,
+    so a scenario whose daily volume yields fewer queries than the trace
+    holds raises (as does one yielding more) instead of silently replaying
+    only a prefix of the recorded timeline.  ``allow_partial=True`` opts
+    into prefix replay for deliberately truncated (smoke-sized) runs.
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        arrival_times: Optional[Sequence[float]] = None,
+        path: Optional[Union[str, Path]] = None,
+        allow_partial: bool = False,
+    ):
+        if (arrival_times is None) == (path is None):
+            raise ValueError("provide exactly one of arrival_times or path")
+        self.allow_partial = allow_partial
+        if path is not None:
+            arrival_times = self._load(Path(path))
+        times = np.asarray(list(arrival_times), dtype=np.float64)
+        if times.size == 0:
+            raise ValueError("a trace needs at least one arrival timestamp")
+        if not np.all(np.isfinite(times)) or np.any(times < 0.0):
+            raise ValueError("trace timestamps must be finite and non-negative")
+        if np.any(np.diff(times) < 0.0):
+            raise ValueError("trace timestamps must be sorted in non-decreasing order")
+        self._times = times
+
+    @staticmethod
+    def _load(path: Path) -> List[float]:
+        if path.suffix.lower() == ".json":
+            payload = json.loads(path.read_text())
+            if isinstance(payload, dict):
+                if "arrival_times" not in payload:
+                    raise ValueError(f"JSON trace {path} has no 'arrival_times' key")
+                payload = payload["arrival_times"]
+            if not isinstance(payload, list):
+                raise ValueError(f"JSON trace {path} must be a list of timestamps")
+            return [float(value) for value in payload]
+        if path.suffix.lower() == ".csv":
+            with path.open(newline="") as handle:
+                rows = [row for row in csv.reader(handle) if row]
+            if not rows:
+                raise ValueError(f"CSV trace {path} is empty")
+            column = 0
+            first = rows[0]
+            try:
+                float(first[column])
+            except ValueError:
+                header = [cell.strip().lower() for cell in first]
+                column = header.index("arrival_time") if "arrival_time" in header else 0
+                rows = rows[1:]
+            return [float(row[column]) for row in rows]
+        raise ValueError(f"unsupported trace format {path.suffix!r} (use .json or .csv)")
+
+    @property
+    def num_arrivals(self) -> int:
+        return int(self._times.size)
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._times.copy()
+
+    def _check_horizon(self, times: np.ndarray, horizon_seconds: float) -> np.ndarray:
+        if times.size and times[-1] > horizon_seconds:
+            raise ValueError(
+                f"trace extends to {times[-1]} seconds, past the horizon of "
+                f"{horizon_seconds} seconds"
+            )
+        return times
+
+    def _take(self, count: int, context: str) -> np.ndarray:
+        if count > self._times.size:
+            raise ValueError(
+                f"trace holds {self._times.size} arrivals but {count} were "
+                f"requested{context}; size the scenario's daily volume to the trace"
+            )
+        if count < self._times.size and not self.allow_partial:
+            raise ValueError(
+                f"trace holds {self._times.size} arrivals but only {count} were "
+                f"requested{context}: the trailing recorded arrivals would be "
+                "silently dropped; size the scenario's daily volume to the trace "
+                "or pass allow_partial=True for a deliberate prefix replay"
+            )
+        return self._times[:count].copy()
+
+    def arrival_times(
+        self, count: int, horizon_seconds: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        _validate_request(count, horizon_seconds)
+        return self._check_horizon(self._take(count, ""), horizon_seconds)
+
+    def split_counts(
+        self, counts: Sequence[int], horizon_seconds: float, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        total = sum(counts)
+        times = self._check_horizon(
+            self._take(total, f" across {len(counts)} model sizes"), horizon_seconds
+        )
+        # Deal timestamps round-robin over the populations in arrival order:
+        # each population's share is a subsequence of the sorted trace, so it
+        # stays sorted, and the global multiset of timestamps is preserved.
+        assigned: List[List[float]] = [[] for _ in counts]
+        remaining = list(counts)
+        cursor = 0
+        for value in times:
+            while remaining[cursor] == 0:
+                cursor = (cursor + 1) % len(counts)
+            assigned[cursor].append(float(value))
+            remaining[cursor] -= 1
+            cursor = (cursor + 1) % len(counts)
+        return [np.asarray(times_for_model, dtype=np.float64) for times_for_model in assigned]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "num_arrivals": self.num_arrivals,
+            "allow_partial": self.allow_partial,
+        }

@@ -1,0 +1,198 @@
+"""Scenarios: named, seeded workload recipes the campaign runner replays.
+
+A :class:`Scenario` binds an :class:`~repro.scenarios.ArrivalProcess` to the
+workload parameters the classic sporadic generator takes (daily volume,
+batch size, model-size mix, seed, horizon) and builds a standard
+:class:`~repro.workloads.SporadicWorkload` -- so the existing
+:class:`~repro.serving.InferenceServer`, every backend and every policy run
+unchanged over arbitrary arrival shapes.
+
+A :class:`MixtureScenario` composes named sub-scenarios into one multi-tenant
+workload: each tenant keeps its own arrival process, daily volume and
+model-size mix, and the merged trace tags every query with its tenant so
+per-tenant accounting survives the merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workloads.graph_challenge import PAPER_BATCH_SIZE, PAPER_NEURON_COUNTS
+from ..workloads.sporadic import (
+    InferenceQuery,
+    SporadicWorkload,
+    query_sizes,
+    split_samples_evenly,
+)
+from .processes import ArrivalProcess
+
+__all__ = [
+    "Scenario",
+    "MixtureScenario",
+    "build_scenario_workload",
+]
+
+_SECONDS_PER_DAY = 24 * 3600.0
+
+
+def build_scenario_workload(
+    process: ArrivalProcess,
+    daily_samples: int,
+    batch_size: int = PAPER_BATCH_SIZE,
+    neuron_counts: Sequence[int] = PAPER_NEURON_COUNTS,
+    seed: int = 13,
+    horizon_seconds: float = _SECONDS_PER_DAY,
+    tenant: Optional[str] = None,
+) -> SporadicWorkload:
+    """Build a sporadic workload whose arrivals follow ``process``.
+
+    The sample accounting is exactly the classic generator's: the daily
+    volume is spread evenly over the model sizes (no two sizes differ by more
+    than one sample), each size's volume is chopped into ``batch_size``
+    queries with the last query absorbing the sub-batch tail, and each size's
+    arrival draw is one call into the process (sharing a single seeded
+    generator in model-size order).  With :class:`~repro.scenarios.PoissonProcess`
+    this reproduces ``generate_sporadic_workload`` bit-for-bit.
+    """
+    if daily_samples < 1:
+        raise ValueError("daily_samples must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    if not neuron_counts:
+        raise ValueError("at least one neuron count is required")
+
+    rng = np.random.default_rng(seed)
+    samples_per_model = split_samples_evenly(daily_samples, len(neuron_counts))
+    populated: List[Tuple[int, List[int]]] = []
+    for neurons, samples_for_model in zip(neuron_counts, samples_per_model):
+        sizes = query_sizes(samples_for_model, batch_size)
+        if sizes:
+            populated.append((int(neurons), sizes))
+
+    arrival_arrays = process.split_counts(
+        [len(sizes) for _, sizes in populated], horizon_seconds, rng
+    )
+
+    queries: List[InferenceQuery] = []
+    query_id = 0
+    for (neurons, sizes), arrivals in zip(populated, arrival_arrays):
+        if len(arrivals) != len(sizes):
+            raise ValueError(
+                f"process {process.name!r} returned {len(arrivals)} arrivals for a "
+                f"population of {len(sizes)} queries"
+            )
+        for size, arrival in zip(sizes, arrivals):
+            queries.append(
+                InferenceQuery(
+                    query_id=query_id,
+                    arrival_time=float(arrival),
+                    neurons=neurons,
+                    samples=int(size),
+                    tenant=tenant,
+                )
+            )
+            query_id += 1
+
+    queries.sort(key=lambda q: q.arrival_time)
+    queries = [replace(q, query_id=i) for i, q in enumerate(queries)]
+    return SporadicWorkload.from_queries(queries, horizon_seconds=horizon_seconds)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded workload recipe: one arrival process, one tenant."""
+
+    name: str
+    process: ArrivalProcess
+    daily_samples: int
+    batch_size: int = PAPER_BATCH_SIZE
+    neuron_counts: Tuple[int, ...] = PAPER_NEURON_COUNTS
+    seed: int = 13
+    horizon_seconds: float = _SECONDS_PER_DAY
+    #: tenant tag stamped on every query; ``None`` leaves queries untagged
+    #: (mixtures default it to the scenario name).
+    tenant: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        object.__setattr__(self, "neuron_counts", tuple(int(n) for n in self.neuron_counts))
+
+    def build(self) -> SporadicWorkload:
+        """Materialise the workload (deterministic under the scenario seed)."""
+        return build_scenario_workload(
+            self.process,
+            daily_samples=self.daily_samples,
+            batch_size=self.batch_size,
+            neuron_counts=self.neuron_counts,
+            seed=self.seed,
+            horizon_seconds=self.horizon_seconds,
+            tenant=self.tenant,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly identity for campaign fingerprints."""
+        return {
+            "name": self.name,
+            "process": self.process.describe(),
+            "daily_samples": self.daily_samples,
+            "batch_size": self.batch_size,
+            "neuron_counts": list(self.neuron_counts),
+            "seed": self.seed,
+            "horizon_seconds": self.horizon_seconds,
+            "tenant": self.tenant,
+        }
+
+
+@dataclass(frozen=True)
+class MixtureScenario:
+    """Multi-tenant composition of named sub-scenarios into one workload.
+
+    Each component keeps its own arrival process, daily volume, batch size
+    and model-size mix; the merged workload interleaves every tenant's
+    arrivals on one shared timeline (stable-sorted by arrival time, query ids
+    reassigned globally) and stamps each query with its tenant -- the
+    component's explicit ``tenant`` tag, or its scenario name.  Per-tenant
+    query populations are preserved exactly: grouping the merged trace by
+    tenant recovers each component's queries.
+    """
+
+    name: str
+    components: Tuple[Scenario, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a mixture needs a non-empty name")
+        object.__setattr__(self, "components", tuple(self.components))
+        if not self.components:
+            raise ValueError("a mixture needs at least one component scenario")
+        tenants = [component.tenant or component.name for component in self.components]
+        if len(set(tenants)) != len(tenants):
+            raise ValueError(f"mixture tenants must be distinct, got {tenants}")
+
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        return tuple(component.tenant or component.name for component in self.components)
+
+    @property
+    def horizon_seconds(self) -> float:
+        return max(component.horizon_seconds for component in self.components)
+
+    def build(self) -> SporadicWorkload:
+        queries: List[InferenceQuery] = []
+        for component, tenant in zip(self.components, self.tenants):
+            workload = component.build()
+            queries.extend(replace(query, tenant=tenant) for query in workload.queries)
+        queries.sort(key=lambda q: q.arrival_time)
+        queries = [replace(q, query_id=i) for i, q in enumerate(queries)]
+        return SporadicWorkload.from_queries(queries, horizon_seconds=self.horizon_seconds)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "components": [component.describe() for component in self.components],
+            "tenants": list(self.tenants),
+        }

@@ -119,6 +119,15 @@ class BatchCoalescingPolicy(SchedulingPolicy):
     profiler, coalescing is unconditional (the fixed per-query charges make
     merging win whenever scaling is linear, which is the default
     assumption).
+
+    ``max_hold_seconds`` is the latency-SLO cap on the window: the batch
+    leader (the query that opens a window) is held for exactly the window
+    duration before admission, so its queueing delay due to coalescing is
+    the hold time.  When the cap is below the window, the window's release
+    deadline is pulled in so the leader's hold never exceeds the cap --
+    trading back some of the merge's cost saving for bounded added latency.
+    The default ``None`` (and any cap at or above the window) keeps the
+    deadline arithmetic byte-identical to the uncapped policy.
     """
 
     def __init__(
@@ -126,14 +135,18 @@ class BatchCoalescingPolicy(SchedulingPolicy):
         window_seconds: float,
         max_batch_queries: Optional[int] = None,
         profile_for: Optional[Callable[[InferenceQuery], CoalescingProfile]] = None,
+        max_hold_seconds: Optional[float] = None,
     ):
         if window_seconds < 0:
             raise ValueError("window_seconds cannot be negative")
         if max_batch_queries is not None and max_batch_queries < 1:
             raise ValueError("max_batch_queries must be at least 1 (or None)")
+        if max_hold_seconds is not None and max_hold_seconds < 0:
+            raise ValueError("max_hold_seconds cannot be negative (or None)")
         self.window_seconds = window_seconds
         self.max_batch_queries = max_batch_queries
         self.profile_for = profile_for
+        self.max_hold_seconds = max_hold_seconds
         self.name = "coalesce"
         self._open: Dict[int, _CoalescingGroup] = {}
         self._ready: List[Tuple[InferenceQuery, ...]] = []
@@ -174,7 +187,12 @@ class BatchCoalescingPolicy(SchedulingPolicy):
                 self._ready.append(tuple(group.queries))
                 return HoldDecision(tick_at=now)
             return HoldDecision(tick_at=None)
-        deadline = now + self.window_seconds
+        hold = self.window_seconds
+        if self.max_hold_seconds is not None:
+            # SLO cap: the leader's queueing delay from coalescing equals its
+            # hold, so the release deadline never exceeds arrival + cap.
+            hold = min(hold, self.max_hold_seconds)
+        deadline = now + hold
         self._open[query.neurons] = _CoalescingGroup(deadline=deadline, queries=[query])
         return HoldDecision(tick_at=deadline)
 
@@ -192,6 +210,7 @@ class BatchCoalescingPolicy(SchedulingPolicy):
             "name": self.name,
             "window_seconds": self.window_seconds,
             "max_batch_queries": self.max_batch_queries,
+            "max_hold_seconds": self.max_hold_seconds,
         }
 
 
@@ -203,27 +222,49 @@ class QueueDepthAutoscaler(SchedulingPolicy):
     *admission units* waiting in the queue (a coalesced batch released by a
     batching policy counts as one unit), capped at ``max_limit``.  The
     response is monotone -- a deeper queue never yields a smaller limit --
-    and memoryless, so the limit relaxes back to ``min_limit`` as the queue
-    drains (in-flight work is never cancelled; a lowered limit only gates
-    new admissions).
+    so the limit relaxes back to ``min_limit`` as the queue drains
+    (in-flight work is never cancelled; a lowered limit only gates new
+    admissions).
+
+    ``scale_down_lag_ticks`` adds scale-down hysteresis: the limit grows
+    immediately with queue depth, but only shrinks after that many
+    *consecutive* observations wanting a lower limit (an observation wanting
+    the current limit or higher resets the streak).  This damps limit
+    flapping on bursty arrivals -- a momentary dip in queue depth no longer
+    throttles the admission rate the instant before the next burst lands.
+    The default ``0`` shrinks immediately, byte-identical to the memoryless
+    controller.
     """
 
-    def __init__(self, min_limit: int = 1, max_limit: int = 8, queries_per_slot: int = 2):
+    def __init__(
+        self,
+        min_limit: int = 1,
+        max_limit: int = 8,
+        queries_per_slot: int = 2,
+        scale_down_lag_ticks: int = 0,
+    ):
         if min_limit < 1:
             raise ValueError("min_limit must be at least 1")
         if max_limit < min_limit:
             raise ValueError("max_limit cannot be below min_limit")
         if queries_per_slot < 1:
             raise ValueError("queries_per_slot must be at least 1")
+        if scale_down_lag_ticks < 0:
+            raise ValueError("scale_down_lag_ticks cannot be negative")
         self.min_limit = min_limit
         self.max_limit = max_limit
         self.queries_per_slot = queries_per_slot
+        self.scale_down_lag_ticks = scale_down_lag_ticks
         self.name = "autoscale"
         #: (queue_depth, limit) observations, for tests and introspection.
         self.observations: List[Tuple[int, int]] = []
+        self._current_limit: Optional[int] = None
+        self._low_streak = 0
 
     def begin(self, workload: SporadicWorkload) -> None:
         self.observations = []
+        self._current_limit = None
+        self._low_streak = 0
 
     def desired_limit(self, queue_depth: int) -> int:
         """The controller's pure response: monotone in queue depth."""
@@ -234,7 +275,23 @@ class QueueDepthAutoscaler(SchedulingPolicy):
     def admission_limit(
         self, base_limit: Optional[int], queue_depth: int, in_flight: int
     ) -> Optional[int]:
-        limit = self.desired_limit(queue_depth)
+        desired = self.desired_limit(queue_depth)
+        if (
+            self.scale_down_lag_ticks == 0
+            or self._current_limit is None
+            or desired >= self._current_limit
+        ):
+            # Growth (and the no-hysteresis default) applies immediately.
+            limit = desired
+            self._low_streak = 0
+        else:
+            self._low_streak += 1
+            if self._low_streak >= self.scale_down_lag_ticks:
+                limit = desired
+                self._low_streak = 0
+            else:
+                limit = self._current_limit
+        self._current_limit = limit
         self.observations.append((queue_depth, limit))
         return limit
 
@@ -244,4 +301,5 @@ class QueueDepthAutoscaler(SchedulingPolicy):
             "min_limit": self.min_limit,
             "max_limit": self.max_limit,
             "queries_per_slot": self.queries_per_slot,
+            "scale_down_lag_ticks": self.scale_down_lag_ticks,
         }

@@ -1,0 +1,207 @@
+"""Tests for the experiment-campaign runner.
+
+Locks the campaign contracts:
+
+1. A campaign replays its full (scenario x backend x policy set) grid, one
+   independent serving replay per cell, and the report indexes every cell.
+2. Campaign results are deterministic under fixed scenario seeds: per-cell
+   fingerprints are identical across runs, and a parallel run equals a
+   serial run (cells own private clouds, results land by grid index).
+3. A campaign cell is *exactly* a direct ``InferenceServer`` serve of the
+   same scenario on the same backend -- no campaign-layer drift.
+4. Pivots, markdown rendering and JSON export expose the headline metrics
+   (cost/query, p95 latency, cold-start fraction).
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    BatchCoalescingPolicy,
+    Campaign,
+    CampaignCell,
+    CampaignReport,
+    CloudEnvironment,
+    DiurnalProcess,
+    EngineConfig,
+    FSDServingBackend,
+    HPCServingBackend,
+    InferenceServer,
+    PoissonProcess,
+    QueryWorkloadFactory,
+    Scenario,
+    ServingConfig,
+    Variant,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_model_experiments():
+    from repro import GraphChallengeConfig, build_graph_challenge_model
+
+    config = GraphChallengeConfig(
+        neurons=64, layers=2, nnz_per_row=4, num_communities=4, seed=7
+    )
+    return build_graph_challenge_model(config)
+
+
+@pytest.fixture
+def scenarios():
+    shared = dict(daily_samples=24, batch_size=4, neuron_counts=(64,), horizon_seconds=600.0)
+    return [
+        Scenario("poisson", PoissonProcess(), seed=3, **shared),
+        Scenario("diurnal", DiurnalProcess(), seed=4, **shared),
+    ]
+
+
+@pytest.fixture
+def backends(tiny_model_experiments):
+    def fsd():
+        return FSDServingBackend(
+            CloudEnvironment(),
+            QueryWorkloadFactory(model_builder=lambda neurons: tiny_model_experiments),
+            config_for=lambda neurons: EngineConfig(variant=Variant.SERIAL, workers=1),
+        )
+
+    def hpc():
+        return HPCServingBackend(
+            1, QueryWorkloadFactory(model_builder=lambda neurons: tiny_model_experiments)
+        )
+
+    return {"fsd": fsd, "hpc-1": hpc}
+
+
+class TestCampaignGrid:
+    def test_full_grid_is_replayed(self, scenarios, backends):
+        campaign = Campaign(scenarios, backends)
+        report = campaign.run(max_workers=1)
+        assert len(report.cells) == 4
+        assert report.scenarios == ["poisson", "diurnal"]
+        assert report.backends == ["fsd", "hpc-1"]
+        assert report.policy_sets == ["none"]
+        for result in report.cells:
+            assert result.summary["num_queries"] == 6
+            assert result.wall_seconds >= 0.0
+
+    def test_cell_lookup(self, scenarios, backends):
+        report = Campaign(scenarios, backends).run(max_workers=1)
+        cell = report.cell("poisson", "fsd")
+        assert cell.cell == CampaignCell("poisson", "fsd", "none")
+        with pytest.raises(KeyError):
+            report.cell("poisson", "no-such-backend")
+
+    def test_policy_sets_are_grid_dimension(self, scenarios, backends):
+        campaign = Campaign(
+            [scenarios[0]],
+            {"fsd": backends["fsd"]},
+            policy_sets={
+                "none": tuple,
+                "coalesce": lambda: (BatchCoalescingPolicy(window_seconds=120.0),),
+            },
+        )
+        report = campaign.run(max_workers=1)
+        assert len(report.cells) == 2
+        plain = report.cell("poisson", "fsd", "none")
+        merged = report.cell("poisson", "fsd", "coalesce")
+        assert "policies" not in plain.summary
+        assert merged.summary["policies"][0]["name"] == "coalesce"
+        # Coalescing merges close same-model arrivals into fewer executions.
+        assert merged.summary["execution_count"] < merged.summary["num_queries"]
+
+    def test_invalid_campaigns_rejected(self, scenarios, backends):
+        with pytest.raises(ValueError):
+            Campaign([], backends)
+        with pytest.raises(ValueError):
+            Campaign(scenarios, {})
+        with pytest.raises(ValueError):
+            Campaign(scenarios, backends, policy_sets={})
+        with pytest.raises(ValueError):
+            Campaign([scenarios[0], scenarios[0]], backends)  # duplicate name
+        with pytest.raises(TypeError):
+            Campaign({"broken": object()}, backends)
+
+
+class TestCampaignDeterminism:
+    def test_fingerprints_identical_across_runs(self, scenarios, backends):
+        campaign = Campaign(scenarios, backends)
+        first = campaign.run(max_workers=1)
+        second = campaign.run(max_workers=1)
+        assert [c.fingerprint for c in first.cells] == [c.fingerprint for c in second.cells]
+        assert [c.summary for c in first.cells] == [c.summary for c in second.cells]
+
+    def test_parallel_run_equals_serial_run(self, scenarios, backends):
+        campaign = Campaign(scenarios, backends)
+        serial = campaign.run(max_workers=1)
+        parallel = campaign.run(max_workers=4)
+        assert [c.cell for c in serial.cells] == [c.cell for c in parallel.cells]
+        assert [c.summary for c in serial.cells] == [c.summary for c in parallel.cells]
+
+    def test_cell_equals_direct_serving_replay(self, scenarios, backends):
+        """A campaign cell is exactly an InferenceServer serve -- no drift."""
+        report = Campaign(scenarios, backends).run(max_workers=1)
+        direct = InferenceServer(backends["fsd"](), ServingConfig()).serve(
+            scenarios[0].build()
+        )
+        assert report.cell("poisson", "fsd").summary == direct.summary()
+
+    def test_fingerprint_ignores_wall_clock(self, scenarios, backends):
+        report = Campaign(scenarios, backends).run(max_workers=1)
+        cell = report.cells[0]
+        before = cell.fingerprint
+        cell.wall_seconds += 1000.0
+        assert cell.fingerprint == before
+
+
+class TestCampaignReportViews:
+    def test_pivot_metrics(self, scenarios, backends):
+        report = Campaign(scenarios, backends).run(max_workers=1)
+        cost = report.pivot("cost_per_query")
+        assert set(cost) == {"poisson", "diurnal"}
+        assert set(cost["poisson"]) == {"fsd", "hpc-1"}
+        assert cost["poisson"]["fsd"] > 0.0
+        assert cost["poisson"]["hpc-1"] == 0.0  # the paper reports no HPC cost
+        p95 = report.pivot("p95_latency_seconds")
+        assert p95["diurnal"]["fsd"] > 0.0
+        fraction = report.pivot("cold_start_fraction")
+        assert 0.0 <= fraction["poisson"]["fsd"] <= 1.0
+        assert fraction["poisson"]["hpc-1"] is None  # HPC has no cold/warm starts
+        # Raw summary keys work as metrics too.
+        assert report.pivot("num_queries")["poisson"]["fsd"] == 6
+        with pytest.raises(KeyError):
+            report.cells[0].metric("no-such-metric")
+
+    def test_markdown_rendering(self, scenarios, backends):
+        report = Campaign(scenarios, backends).run(max_workers=1)
+        table = report.render_markdown("cost_per_query")
+        lines = table.splitlines()
+        assert lines[2] == "| scenario | fsd | hpc-1 |"
+        assert lines[4].startswith("| poisson |")
+        assert lines[5].startswith("| diurnal |")
+        assert "n/a" in report.render_markdown("cold_start_fraction")
+
+    def test_json_export_round_trips(self, scenarios, backends, tmp_path):
+        report = Campaign(scenarios, backends).run(max_workers=1)
+        path = tmp_path / "campaign.json"
+        text = report.to_json(path)
+        assert json.loads(text) == json.loads(path.read_text())
+        payload = json.loads(text)
+        assert payload["scenarios"] == ["poisson", "diurnal"]
+        assert len(payload["cells"]) == 4
+        assert set(payload["pivots"]["none"]) == {
+            "cost_per_query",
+            "p95_latency_seconds",
+            "cold_start_fraction",
+        }
+        for cell in payload["cells"]:
+            assert cell["fingerprint"]
+            assert cell["summary"]["num_queries"] == 6
+
+    def test_empty_report_views(self):
+        report = CampaignReport()
+        assert report.pivot("cost_per_query") == {}
+        assert report.pivots() == {
+            "cost_per_query": {},
+            "p95_latency_seconds": {},
+            "cold_start_fraction": {},
+        }

@@ -334,6 +334,88 @@ class TestBatchCoalescing:
             BatchCoalescingPolicy(window_seconds=-1.0)
         with pytest.raises(ValueError):
             BatchCoalescingPolicy(window_seconds=1.0, max_batch_queries=0)
+        with pytest.raises(ValueError):
+            BatchCoalescingPolicy(window_seconds=1.0, max_hold_seconds=-0.5)
+
+
+class TestLatencyCappedCoalescing:
+    """max_hold_seconds: the SLO cap on the leader's coalescing delay."""
+
+    @staticmethod
+    def _record_tuples(report):
+        return [
+            (r.query_id, r.started_at, r.finished_at, r.cost, r.coalesced_group)
+            for r in report.records
+        ]
+
+    def test_default_none_is_byte_identical_to_uncapped(self, serial_backend):
+        workload = generate_sporadic_workload(
+            daily_samples=20 * 4, batch_size=4, neuron_counts=(64,), seed=19
+        )
+        uncapped, _ = _coalescing_server(serial_backend(), window_seconds=1800.0)
+        capped_none, _ = _coalescing_server(
+            serial_backend(), window_seconds=1800.0, max_hold_seconds=None
+        )
+        a = uncapped.serve(workload)
+        b = capped_none.serve(workload)
+        assert self._record_tuples(a) == self._record_tuples(b)
+        assert a.cost.total == b.cost.total
+
+    def test_cap_at_or_above_window_changes_nothing(self, serial_backend):
+        queries = [InferenceQuery(i, 10.0 * i, 64, 4) for i in range(3)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        plain, _ = _coalescing_server(serial_backend(), window_seconds=60.0)
+        wide, _ = _coalescing_server(
+            serial_backend(), window_seconds=60.0, max_hold_seconds=60.0
+        )
+        assert self._record_tuples(plain.serve(workload)) == self._record_tuples(
+            wide.serve(workload)
+        )
+
+    def test_cap_below_window_flushes_early_and_bounds_leader_delay(
+        self, serial_backend
+    ):
+        queries = [
+            InferenceQuery(0, 0.0, 64, 4),
+            InferenceQuery(1, 20.0, 64, 4),   # inside the capped window: merges
+            InferenceQuery(2, 40.0, 64, 4),   # after the capped flush: next batch
+        ]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        server, policy = _coalescing_server(
+            serial_backend(), window_seconds=300.0, max_hold_seconds=30.0
+        )
+        report = server.serve(workload)
+
+        by_id = {record.query_id: record for record in report.records}
+        # The leader flushed at arrival + cap, not arrival + window.
+        assert by_id[0].started_at == 30.0
+        assert by_id[0].queue_delay_seconds == 30.0
+        assert by_id[0].coalesced_group == (0, 1)
+        # The straddler opened its own capped window.
+        assert by_id[2].started_at == 40.0 + 30.0
+        assert policy.released == [(64, 2), (64, 1)]
+        # No leader ever waited past the cap for admission.
+        for record in report.records:
+            leader = record.coalesced_group[0] if record.coalesced_group else record.query_id
+            if leader == record.query_id:
+                assert record.queue_delay_seconds <= 30.0 + 1e-9
+
+    def test_capped_window_still_cheaper_than_no_batching(self, serial_backend):
+        queries = [InferenceQuery(i, 5.0 * i, 64, 4) for i in range(4)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        plain = InferenceServer(serial_backend()).serve(workload)
+        server, _ = _coalescing_server(
+            serial_backend(), window_seconds=600.0, max_hold_seconds=30.0
+        )
+        capped = server.serve(workload)
+        assert capped.execution_count < plain.execution_count
+        assert capped.cost.total < plain.cost.total
+        # ...at bounded latency: p95 stays within cap + service time of plain.
+        assert capped.p95_latency_seconds < plain.p95_latency_seconds + 30.0 + 1e-9
+
+    def test_describe_includes_the_cap(self):
+        policy = BatchCoalescingPolicy(window_seconds=60.0, max_hold_seconds=10.0)
+        assert policy.describe()["max_hold_seconds"] == 10.0
 
 
 class TestRecommendCoalescing:
@@ -422,6 +504,69 @@ class TestQueueDepthAutoscaler:
             QueueDepthAutoscaler(queries_per_slot=0)
         with pytest.raises(ValueError):
             QueueDepthAutoscaler().desired_limit(-1)
+        with pytest.raises(ValueError):
+            QueueDepthAutoscaler(scale_down_lag_ticks=-1)
+
+    @staticmethod
+    def _drive(policy, depths):
+        """Feed a queue-depth sequence through admission_limit, return limits."""
+        return [policy.admission_limit(None, depth, in_flight=0) for depth in depths]
+
+    def test_lag_zero_is_byte_identical_to_memoryless_controller(self, serial_backend):
+        queries = [InferenceQuery(i, 0.0, 64, 4) for i in range(10)]
+        workload = SporadicWorkload(queries=queries, horizon_seconds=600.0)
+        legacy = QueueDepthAutoscaler(min_limit=1, max_limit=4, queries_per_slot=2)
+        lagged = QueueDepthAutoscaler(
+            min_limit=1, max_limit=4, queries_per_slot=2, scale_down_lag_ticks=0
+        )
+        a = InferenceServer(serial_backend(), ServingConfig(policies=(legacy,))).serve(workload)
+        b = InferenceServer(serial_backend(), ServingConfig(policies=(lagged,))).serve(workload)
+        assert legacy.observations == lagged.observations
+        assert [
+            (r.query_id, r.started_at, r.finished_at, r.cost) for r in a.records
+        ] == [(r.query_id, r.started_at, r.finished_at, r.cost) for r in b.records]
+
+    def test_hysteresis_holds_the_limit_for_lag_ticks(self):
+        policy = QueueDepthAutoscaler(
+            min_limit=1, max_limit=8, queries_per_slot=1, scale_down_lag_ticks=3
+        )
+        policy.begin(SporadicWorkload(queries=[]))
+        # Deep queue raises the limit immediately; the drain only lowers it
+        # after three consecutive lower-depth observations.
+        assert self._drive(policy, [5, 0, 0]) == [6, 6, 6]
+        # Third consecutive low observation: the limit finally shrinks.
+        assert self._drive(policy, [0]) == [1]
+
+    def test_growth_resets_the_scale_down_streak(self):
+        policy = QueueDepthAutoscaler(
+            min_limit=1, max_limit=8, queries_per_slot=1, scale_down_lag_ticks=2
+        )
+        policy.begin(SporadicWorkload(queries=[]))
+        # Two low observations would shrink -- but a burst in between resets
+        # the streak, so the limit never flaps downward mid-burst.
+        assert self._drive(policy, [5, 0, 6, 0, 0]) == [6, 6, 7, 7, 1]
+
+    def test_observation_wanting_current_limit_resets_streak(self):
+        policy = QueueDepthAutoscaler(
+            min_limit=1, max_limit=8, queries_per_slot=1, scale_down_lag_ticks=2
+        )
+        policy.begin(SporadicWorkload(queries=[]))
+        assert self._drive(policy, [4, 0, 4, 0, 0]) == [5, 5, 5, 5, 1]
+
+    def test_begin_resets_hysteresis_state(self):
+        policy = QueueDepthAutoscaler(
+            min_limit=1, max_limit=8, queries_per_slot=1, scale_down_lag_ticks=2
+        )
+        policy.begin(SporadicWorkload(queries=[]))
+        self._drive(policy, [5, 0])  # one low observation banked
+        policy.begin(SporadicWorkload(queries=[]))
+        # A fresh serve starts with no held limit and no streak.
+        assert self._drive(policy, [0]) == [1]
+        assert policy.observations == [(0, 1)]
+
+    def test_describe_includes_lag(self):
+        policy = QueueDepthAutoscaler(scale_down_lag_ticks=4)
+        assert policy.describe()["scale_down_lag_ticks"] == 4
 
     def test_composes_with_coalescing(self, serial_backend):
         """Coalescing holds queries; the autoscaler paces merged admissions."""

@@ -1,0 +1,419 @@
+"""Tests for the scenario library: arrival processes, scenarios, mixtures.
+
+Locks the contracts ISSUE 4 introduced:
+
+1. Every :class:`ArrivalProcess` is deterministic under a fixed seed and
+   emits exactly the requested number of sorted timestamps inside the
+   horizon.
+2. The processes generate the *shapes* they claim: the diurnal process's
+   empirical rate tracks its intensity curve, the MMPP's burst and quiet
+   interarrival means separate, the flash crowd's spike window is denser
+   than the baseline.
+3. ``Scenario``/``build_scenario_workload`` reproduce the classic Poisson
+   generator byte-for-byte and preserve the sample-accounting rules; a
+   ``MixtureScenario`` preserves per-tenant query populations with tenant
+   provenance on every query.
+4. ``TraceProcess`` replays recorded timestamps exactly (JSON and CSV) and
+   rejects malformed traces loudly.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    BurstyProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    MixtureScenario,
+    PoissonProcess,
+    Scenario,
+    SporadicWorkload,
+    TraceProcess,
+    build_scenario_workload,
+    generate_sporadic_workload,
+)
+
+HORIZON = 86400.0
+
+ALL_PROCESSES = [
+    PoissonProcess(),
+    DiurnalProcess(),
+    BurstyProcess(),
+    FlashCrowdProcess(),
+    # allow_partial: the protocol tests request fewer arrivals than recorded.
+    TraceProcess(arrival_times=np.linspace(0.0, HORIZON - 1.0, 200), allow_partial=True),
+]
+
+
+def _rng(seed=11):
+    return np.random.default_rng(seed)
+
+
+class TestArrivalProcessProtocol:
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_count_sorted_and_within_horizon(self, process):
+        times = process.arrival_times(150, HORIZON, _rng())
+        assert times.shape == (150,)
+        assert np.all(np.diff(times) >= 0.0)
+        assert times[0] >= 0.0 and times[-1] <= HORIZON
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_deterministic_in_seed(self, process):
+        a = process.arrival_times(80, HORIZON, _rng(3))
+        b = process.arrival_times(80, HORIZON, _rng(3))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "process",
+        [PoissonProcess(), DiurnalProcess(), BurstyProcess(), FlashCrowdProcess()],
+        ids=lambda p: p.name,
+    )
+    def test_different_seeds_differ(self, process):
+        a = process.arrival_times(80, HORIZON, _rng(1))
+        b = process.arrival_times(80, HORIZON, _rng(2))
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_invalid_requests_rejected(self, process):
+        with pytest.raises(ValueError):
+            process.arrival_times(-1, HORIZON, _rng())
+        with pytest.raises(ValueError):
+            process.arrival_times(10, 0.0, _rng())
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_describe_is_json_friendly(self, process):
+        description = process.describe()
+        assert description["name"] == process.name
+        json.dumps(description)
+
+    def test_split_counts_matches_sequential_draws(self):
+        """The default multi-population split IS sequential per-population draws."""
+        process = PoissonProcess()
+        split = process.split_counts([5, 3, 7], HORIZON, _rng(9))
+        rng = _rng(9)
+        expected = [process.arrival_times(count, HORIZON, rng) for count in (5, 3, 7)]
+        for got, want in zip(split, expected):
+            assert np.array_equal(got, want)
+
+
+class TestDiurnalProcess:
+    def test_empirical_rate_tracks_intensity_curve(self):
+        """Arrival mass concentrates where the intensity curve is high."""
+        process = DiurnalProcess(peak_time_fraction=0.5, night_level=0.05)
+        times = process.arrival_times(4000, HORIZON, _rng(7))
+        # Bin the day and correlate empirical counts with the curve.
+        bins = np.linspace(0.0, HORIZON, 25)
+        counts, _ = np.histogram(times, bins=bins)
+        centers = 0.5 * (bins[:-1] + bins[1:])
+        curve = process.intensity(centers, HORIZON)
+        correlation = np.corrcoef(counts, curve)[0, 1]
+        assert correlation > 0.9
+        # Day (peak quarter) is much denser than night (trough quarters).
+        day = counts[(centers > 0.375 * HORIZON) & (centers < 0.625 * HORIZON)].mean()
+        night = counts[(centers < 0.125 * HORIZON) | (centers > 0.875 * HORIZON)].mean()
+        assert day > 3.0 * night
+
+    def test_intensity_bounds(self):
+        process = DiurnalProcess(night_level=0.2)
+        grid = np.linspace(0.0, HORIZON, 1000)
+        values = process.intensity(grid, HORIZON)
+        assert values.min() >= 0.2 - 1e-12
+        assert values.max() <= 1.0 + 1e-12
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalProcess(peak_time_fraction=1.5)
+        with pytest.raises(ValueError):
+            DiurnalProcess(night_level=0.0)
+        with pytest.raises(ValueError):
+            DiurnalProcess(period_seconds=-1.0)
+
+
+class TestBurstyProcess:
+    def test_burst_and_quiet_interarrival_means_separate(self):
+        """MMPP regimes are visible in the arrivals: bursts are much denser."""
+        process = BurstyProcess(
+            burst_factor=20.0, mean_quiet_seconds=7200.0, mean_burst_seconds=1800.0
+        )
+        seed = 23
+        times = process.arrival_times(3000, HORIZON, _rng(seed))
+        # The dwell path consumes the generator first, so a same-seeded
+        # generator reconstructs the exact regime segments.
+        segments = process.dwell_segments(HORIZON, _rng(seed))
+        assert any(is_burst for _, _, is_burst in segments)
+        assert any(not is_burst for _, _, is_burst in segments)
+
+        def mean_gap(in_burst: bool) -> float:
+            gaps = []
+            for start, end, burst in segments:
+                if burst is not in_burst:
+                    continue
+                inside = times[(times >= start) & (times < end)]
+                if inside.size >= 2:
+                    gaps.extend(np.diff(inside))
+            return float(np.mean(gaps))
+
+        assert mean_gap(True) * 5.0 < mean_gap(False)
+
+    def test_dwell_segments_cover_horizon(self):
+        process = BurstyProcess()
+        segments = process.dwell_segments(HORIZON, _rng(5))
+        assert segments[0][0] == 0.0
+        assert segments[-1][1] == HORIZON
+        for (_, end_a, state_a), (start_b, _, state_b) in zip(segments, segments[1:]):
+            assert end_a == start_b
+            assert state_a != state_b
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BurstyProcess(burst_factor=1.0)
+        with pytest.raises(ValueError):
+            BurstyProcess(mean_quiet_seconds=0.0)
+        with pytest.raises(ValueError):
+            BurstyProcess(mean_burst_seconds=-5.0)
+
+
+class TestFlashCrowdProcess:
+    def test_spike_window_is_denser_than_baseline(self):
+        process = FlashCrowdProcess(
+            spike_start_fraction=0.5, spike_duration_fraction=0.05, spike_factor=30.0
+        )
+        times = process.arrival_times(4000, HORIZON, _rng(13))
+        spike_start, spike_end = process.spike_window(HORIZON)
+        in_spike = np.count_nonzero((times >= spike_start) & (times <= spike_end))
+        spike_rate = in_spike / (spike_end - spike_start)
+        base_rate = (times.size - in_spike) / (HORIZON - (spike_end - spike_start))
+        # The window runs at 30x the baseline; allow generous sampling slack.
+        assert spike_rate > 10.0 * base_rate
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FlashCrowdProcess(spike_start_fraction=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdProcess(spike_duration_fraction=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdProcess(spike_start_fraction=0.99, spike_duration_fraction=0.05)
+        with pytest.raises(ValueError):
+            FlashCrowdProcess(spike_factor=0.5)
+
+
+class TestTraceProcess:
+    def test_replays_exact_timestamps(self):
+        recorded = [0.0, 10.5, 99.0, 400.0]
+        process = TraceProcess(arrival_times=recorded)
+        assert np.array_equal(process.arrival_times(4, 500.0, _rng()), recorded)
+
+    def test_partial_replay_is_opt_in(self):
+        recorded = [0.0, 10.5, 99.0, 400.0]
+        strict = TraceProcess(arrival_times=recorded)
+        # By default an underdrawn request refuses to drop trailing arrivals.
+        with pytest.raises(ValueError, match="allow_partial"):
+            strict.arrival_times(2, 500.0, _rng())
+        with pytest.raises(ValueError, match="allow_partial"):
+            strict.split_counts([1, 1], 500.0, _rng())
+        partial = TraceProcess(arrival_times=recorded, allow_partial=True)
+        assert np.array_equal(partial.arrival_times(2, 500.0, _rng()), recorded[:2])
+
+    def test_json_and_csv_loading(self, tmp_path):
+        recorded = [1.0, 2.5, 7.25]
+        json_path = tmp_path / "trace.json"
+        json_path.write_text(json.dumps({"arrival_times": recorded}))
+        assert np.array_equal(TraceProcess(path=json_path).times, recorded)
+
+        bare_path = tmp_path / "bare.json"
+        bare_path.write_text(json.dumps(recorded))
+        assert np.array_equal(TraceProcess(path=bare_path).times, recorded)
+
+        csv_path = tmp_path / "trace.csv"
+        csv_path.write_text("query_id,arrival_time\n0,1.0\n1,2.5\n2,7.25\n")
+        assert np.array_equal(TraceProcess(path=csv_path).times, recorded)
+
+        headerless = tmp_path / "headerless.csv"
+        headerless.write_text("1.0\n2.5\n7.25\n")
+        assert np.array_equal(TraceProcess(path=headerless).times, recorded)
+
+    def test_malformed_traces_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="sorted"):
+            TraceProcess(arrival_times=[5.0, 1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            TraceProcess(arrival_times=[-1.0, 2.0])
+        with pytest.raises(ValueError, match="at least one"):
+            TraceProcess(arrival_times=[])
+        with pytest.raises(ValueError, match="exactly one"):
+            TraceProcess()
+        with pytest.raises(ValueError, match="exactly one"):
+            TraceProcess(arrival_times=[1.0], path="x.json")
+        bad = tmp_path / "trace.txt"
+        bad.write_text("1.0\n")
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            TraceProcess(path=bad)
+
+    def test_overdrawn_or_overlong_traces_rejected(self):
+        process = TraceProcess(arrival_times=[1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="holds 3 arrivals"):
+            process.arrival_times(4, 500.0, _rng())
+        with pytest.raises(ValueError, match="past the horizon"):
+            process.arrival_times(3, 2.5, _rng())
+
+    def test_split_counts_deals_round_robin_in_arrival_order(self):
+        process = TraceProcess(arrival_times=[0.0, 1.0, 2.0, 3.0, 4.0])
+        first, second = process.split_counts([3, 2], 10.0, _rng())
+        assert np.array_equal(first, [0.0, 2.0, 4.0])
+        assert np.array_equal(second, [1.0, 3.0])
+        # The global multiset of timestamps is preserved and each share sorted.
+        merged = np.sort(np.concatenate([first, second]))
+        assert np.array_equal(merged, [0.0, 1.0, 2.0, 3.0, 4.0])
+
+
+class TestScenario:
+    def test_poisson_scenario_reproduces_classic_generator(self):
+        """The classic generator IS the Poisson scenario (byte-for-byte)."""
+        classic = generate_sporadic_workload(
+            daily_samples=104 * 16, batch_size=16, neuron_counts=(256, 512), seed=29
+        )
+        scenario = Scenario(
+            "poisson",
+            PoissonProcess(),
+            daily_samples=104 * 16,
+            batch_size=16,
+            neuron_counts=(256, 512),
+            seed=29,
+        )
+        built = scenario.build()
+        assert built.horizon_seconds == classic.horizon_seconds
+        assert built.queries == classic.queries
+
+    def test_sample_accounting_matches_generator_rules(self):
+        scenario = Scenario(
+            "diurnal",
+            DiurnalProcess(),
+            daily_samples=103,
+            batch_size=10,
+            neuron_counts=(64, 128, 256),
+            seed=2,
+        )
+        workload = scenario.build()
+        assert workload.total_samples == 103
+        assert sorted(workload.samples_by_neurons().values()) == [34, 34, 35]
+        for queries in workload.queries_by_neurons().values():
+            sizes = sorted(q.samples for q in queries)
+            assert sizes[:-1] == [10] * (len(sizes) - 1)
+            assert sizes[-1] >= 10
+
+    def test_build_is_deterministic(self):
+        scenario = Scenario(
+            "bursty", BurstyProcess(), daily_samples=200, batch_size=10,
+            neuron_counts=(64,), seed=5,
+        )
+        assert scenario.build().queries == scenario.build().queries
+
+    def test_tenant_tag_stamped_on_queries(self):
+        scenario = Scenario(
+            "web", PoissonProcess(), daily_samples=40, batch_size=4,
+            neuron_counts=(64,), seed=5, tenant="tenant-a",
+        )
+        workload = scenario.build()
+        assert all(query.tenant == "tenant-a" for query in workload.queries)
+
+    def test_trace_scenario_replays_recorded_arrivals(self):
+        recorded = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+        scenario = Scenario(
+            "replay",
+            TraceProcess(arrival_times=recorded),
+            daily_samples=24,
+            batch_size=4,
+            neuron_counts=(64, 128),
+            seed=0,
+            horizon_seconds=100.0,
+        )
+        workload = scenario.build()
+        assert [q.arrival_time for q in workload.queries] == recorded
+        # Round-robin dealing spreads the sizes across the trace.
+        assert [q.neurons for q in workload.queries] == [64, 128, 64, 128, 64, 128]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario("", PoissonProcess(), daily_samples=10)
+        with pytest.raises(ValueError):
+            build_scenario_workload(PoissonProcess(), daily_samples=0)
+        with pytest.raises(ValueError):
+            build_scenario_workload(PoissonProcess(), daily_samples=10, batch_size=0)
+        with pytest.raises(ValueError):
+            build_scenario_workload(PoissonProcess(), daily_samples=10, neuron_counts=())
+
+
+class TestMixtureScenario:
+    def _mixture(self):
+        web = Scenario(
+            "web", DiurnalProcess(), daily_samples=40, batch_size=4,
+            neuron_counts=(64,), seed=5, horizon_seconds=600.0,
+        )
+        batch = Scenario(
+            "batch", BurstyProcess(), daily_samples=24, batch_size=4,
+            neuron_counts=(64, 128), seed=6, horizon_seconds=600.0,
+        )
+        return web, batch, MixtureScenario("mix", (web, batch))
+
+    def test_per_tenant_query_counts_preserved(self):
+        web, batch, mixture = self._mixture()
+        workload = mixture.build()
+        by_tenant = workload.queries_by_tenant()
+        assert set(by_tenant) == {"web", "batch"}
+        assert len(by_tenant["web"]) == web.build().num_queries
+        assert len(by_tenant["batch"]) == batch.build().num_queries
+        assert workload.num_queries == len(by_tenant["web"]) + len(by_tenant["batch"])
+
+    def test_merged_trace_is_sorted_with_sequential_ids(self):
+        _, _, mixture = self._mixture()
+        workload = mixture.build()
+        times = [q.arrival_time for q in workload.queries]
+        assert times == sorted(times)
+        assert [q.query_id for q in workload.queries] == list(range(workload.num_queries))
+
+    def test_tenant_provenance_preserves_component_queries(self):
+        """Grouping by tenant recovers each component's trace exactly."""
+        web, _, mixture = self._mixture()
+        merged_web = mixture.build().queries_by_tenant()["web"]
+        original = web.build().queries
+        assert [(q.arrival_time, q.neurons, q.samples) for q in merged_web] == [
+            (q.arrival_time, q.neurons, q.samples) for q in original
+        ]
+
+    def test_per_tenant_model_size_mixes_respected(self):
+        _, _, mixture = self._mixture()
+        by_tenant = mixture.build().queries_by_tenant()
+        assert {q.neurons for q in by_tenant["web"]} == {64}
+        assert {q.neurons for q in by_tenant["batch"]} == {64, 128}
+
+    def test_explicit_tenant_tags_win_over_names(self):
+        web, batch, _ = self._mixture()
+        from dataclasses import replace
+
+        tagged = MixtureScenario("mix", (replace(web, tenant="prod"), batch))
+        assert tagged.tenants == ("prod", "batch")
+        assert set(tagged.build().queries_by_tenant()) == {"prod", "batch"}
+
+    def test_horizon_is_component_maximum(self):
+        web, batch, _ = self._mixture()
+        from dataclasses import replace
+
+        longer = replace(batch, horizon_seconds=1200.0)
+        assert MixtureScenario("mix", (web, longer)).horizon_seconds == 1200.0
+
+    def test_invalid_mixtures_rejected(self):
+        web, batch, _ = self._mixture()
+        with pytest.raises(ValueError):
+            MixtureScenario("mix", ())
+        with pytest.raises(ValueError):
+            MixtureScenario("", (web,))
+        with pytest.raises(ValueError, match="distinct"):
+            MixtureScenario("mix", (web, web))
+
+    def test_describe_names_components_and_tenants(self):
+        _, _, mixture = self._mixture()
+        description = mixture.describe()
+        assert description["tenants"] == ["web", "batch"]
+        assert [c["name"] for c in description["components"]] == ["web", "batch"]
+        json.dumps(description)

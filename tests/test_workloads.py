@@ -5,10 +5,12 @@ import pytest
 
 from repro.workloads import (
     GraphChallengeConfig,
+    InferenceQuery,
     PAPER_BATCH_SIZE,
     PAPER_BIASES,
     PAPER_LAYER_COUNT,
     PAPER_NEURON_COUNTS,
+    SporadicWorkload,
     build_graph_challenge_model,
     generate_input_batch,
     generate_sporadic_workload,
@@ -210,3 +212,60 @@ class TestSporadicWorkload:
         assert head.horizon_seconds == workload.horizon_seconds
         with pytest.raises(ValueError):
             workload.head(0)
+
+
+class TestValidatedConstructor:
+    """SporadicWorkload.from_queries: the shared, validated build path."""
+
+    def test_accepts_well_formed_traces(self):
+        queries = [
+            InferenceQuery(0, 0.0, 64, 4),
+            InferenceQuery(1, 10.0, 64, 4),
+            InferenceQuery(2, 10.0, 128, 4),  # ties are fine
+        ]
+        workload = SporadicWorkload.from_queries(queries, horizon_seconds=600.0)
+        assert workload.num_queries == 3
+        assert workload.horizon_seconds == 600.0
+
+    def test_unsorted_trace_rejected_with_clear_error(self):
+        queries = [InferenceQuery(0, 50.0, 64, 4), InferenceQuery(1, 10.0, 64, 4)]
+        with pytest.raises(ValueError, match="sorted in non-decreasing order"):
+            SporadicWorkload.from_queries(queries, horizon_seconds=600.0)
+
+    def test_negative_and_nonfinite_arrivals_rejected(self):
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            SporadicWorkload.from_queries([InferenceQuery(0, -1.0, 64, 4)])
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            SporadicWorkload.from_queries([InferenceQuery(0, float("nan"), 64, 4)])
+
+    def test_arrival_past_horizon_rejected(self):
+        with pytest.raises(ValueError, match="past the workload horizon"):
+            SporadicWorkload.from_queries(
+                [InferenceQuery(0, 700.0, 64, 4)], horizon_seconds=600.0
+            )
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon_seconds"):
+            SporadicWorkload.from_queries([], horizon_seconds=0.0)
+
+    def test_head_goes_through_validation(self):
+        workload = generate_sporadic_workload(400, batch_size=10, seed=4)
+        head = workload.head(3)
+        assert head.num_queries == 3
+        # A malformed underlying trace surfaces when head rebuilds from it.
+        broken = SporadicWorkload(
+            queries=[InferenceQuery(0, -5.0, 64, 4)], horizon_seconds=600.0
+        )
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            broken.head(1)
+
+    def test_queries_by_tenant_grouping(self):
+        queries = [
+            InferenceQuery(0, 0.0, 64, 4, tenant="a"),
+            InferenceQuery(1, 1.0, 64, 4, tenant="b"),
+            InferenceQuery(2, 2.0, 64, 4, tenant="a"),
+            InferenceQuery(3, 3.0, 64, 4),
+        ]
+        workload = SporadicWorkload.from_queries(queries, horizon_seconds=600.0)
+        grouped = workload.queries_by_tenant()
+        assert {t: len(qs) for t, qs in grouped.items()} == {"a": 2, "b": 1, None: 1}
