@@ -21,16 +21,24 @@ off replays the *identical* trace through the *identical* backend as
 ``pr3-event-loop`` fingerprint recorded in ``BENCH_serving.json`` exactly.
 The full (non ``--quick``) run asserts this on every invocation.
 
+``--paper-scale`` runs the grid with the paper's real per-core compute
+throughputs (the ``FSD_BENCH_FULL=1`` calibration the serving benchmark's
+paper-scale mode uses) instead of the scaled-down stand-ins.  Simulated
+latencies and costs legitimately differ from the scaled records, so the
+record is tagged ``paper_scale`` and the scaled-mode reference-fingerprint
+assertion is skipped -- paper-scale fingerprints form their own trajectory.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py [--quick] [--label NAME]
-        [--serial]
+        [--serial] [--paper-scale]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from datetime import datetime, timezone
@@ -182,17 +190,41 @@ def _check_serving_reference(report) -> None:
     )
 
 
-def run(quick: bool = False, label: str | None = None, serial: bool = False) -> dict:
-    scenarios = _scenarios(quick)
-    backends = _backend_factories(quick)
-    policy_sets = _policy_sets(quick)
-    campaign = Campaign(scenarios, backends, policy_sets=policy_sets)
+def run(
+    quick: bool = False,
+    label: str | None = None,
+    serial: bool = False,
+    paper_scale: bool = False,
+) -> dict:
+    if paper_scale and quick:
+        raise ValueError("--paper-scale and --quick are mutually exclusive")
+    saved_full = os.environ.get("FSD_BENCH_FULL")
+    if paper_scale:
+        # The workload grid is shared with bench_serving; paper scale swaps in
+        # the real (unscaled) compute throughputs, exactly like running the
+        # serving benchmark under FSD_BENCH_FULL=1.  The previous value is
+        # restored below so later run() calls in the same process are not
+        # silently promoted to paper scale.
+        os.environ["FSD_BENCH_FULL"] = "1"
+    try:
+        scenarios = _scenarios(quick)
+        backends = _backend_factories(quick)
+        policy_sets = _policy_sets(quick)
+        campaign = Campaign(scenarios, backends, policy_sets=policy_sets)
 
-    start = time.perf_counter()
-    report = campaign.run(max_workers=1 if serial else None)
-    wall_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        report = campaign.run(max_workers=1 if serial else None)
+        wall_seconds = time.perf_counter() - start
+    finally:
+        if paper_scale:
+            if saved_full is None:
+                os.environ.pop("FSD_BENCH_FULL", None)
+            else:
+                os.environ["FSD_BENCH_FULL"] = saved_full
 
-    if not quick:
+    if not quick and not paper_scale:
+        # The reference fingerprint was recorded with the scaled compute
+        # calibration; paper-scale latencies legitimately differ.
         _check_serving_reference(report)
 
     record = {
@@ -200,6 +232,7 @@ def run(quick: bool = False, label: str | None = None, serial: bool = False) -> 
         "git_rev": git_rev(),
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick": quick,
+        "paper_scale": paper_scale,
         "grid": {
             "scenarios": [scenario.describe() for scenario in scenarios],
             "backends": sorted(backends),
@@ -239,8 +272,13 @@ def main() -> None:
     parser.add_argument(
         "--serial", action="store_true", help="replay cells serially (profiling)"
     )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's real compute throughputs (FSD_BENCH_FULL=1; slow)",
+    )
     args = parser.parse_args()
-    run(quick=args.quick, label=args.label, serial=args.serial)
+    run(quick=args.quick, label=args.label, serial=args.serial, paper_scale=args.paper_scale)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,223 @@
+"""Deployment-planner benchmark: SLO-constrained search over the serving space.
+
+Runs the :class:`repro.planner.DeploymentPlanner` over the shared serving
+trace (and, in full mode, a diurnal reshaping of it): a declarative
+(backend x coalescing knob) search space is pruned analytically, the Pareto
+finalists replay through the campaign machinery, and one fingerprinted
+record per invocation is appended to ``BENCH_planner.json`` at the repo
+root:
+
+* the *wall-clock* seconds for the whole plan (calibration probes + analytic
+  scoring + parallel finalist replays; the number perf PRs push down), and
+* per-plan *simulated* outputs -- each finalist's untouched
+  :meth:`~repro.serving.ServingReport.summary` plus a sha256 fingerprint
+  over (scenario, candidate, summary) -- the exact fingerprint policy of
+  ``BENCH_campaign.json``: simulated values only, never wall-clock, so fixed
+  scenario seeds reproduce every fingerprint bit-for-bit across runs.
+
+Shared-timeline invariant check: the planner's ``fsd`` candidate with all
+knobs neutral replays the *identical* trace through the *identical* backend
+as ``bench_serving.py``'s full run, so whenever that candidate appears in
+the Poisson plan's frontier its summary must reproduce the
+``pr3-event-loop`` fingerprint recorded in ``BENCH_serving.json`` exactly.
+The full (non ``--quick``) run asserts this on every invocation.
+
+The bench replays finalists on the thread executor: its backend factories
+close over prebuilt bench workloads (that sharing is what makes the
+reference-fingerprint assertion meaningful), so they cannot ship to a
+process pool.  Thread/process report identity is regression-tested in
+``tests/test_planner.py`` with the picklable spec factories.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py [--quick] [--label NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+from common import (  # noqa: E402
+    SERVING_SEED,
+    git_rev,
+    scaled_cloud,
+    serving_batch_builder,
+    serving_bench_workloads,
+    serving_fsd_backend,
+    serving_grid,
+)
+
+from repro import (  # noqa: E402
+    DeploymentPlanner,
+    DiurnalProcess,
+    PoissonProcess,
+    QueryWorkloadFactory,
+    Scenario,
+    SearchSpace,
+    ServerMode,
+    ServerServingBackend,
+    SLOSpec,
+    policies_from_knobs,
+)
+
+RESULT_PATH = _HERE.parent / "BENCH_planner.json"
+SERVING_RESULT_PATH = _HERE.parent / "BENCH_serving.json"
+#: the policy-free serving fingerprint the neutral fsd candidate must match.
+SERVING_REFERENCE_LABEL = "pr3-event-loop"
+#: the p95 bound the plans are solved against (seconds).
+SLO_P95_SECONDS = 900.0
+
+
+def _scenarios(quick: bool) -> list:
+    # The Poisson scenario is bench_serving's exact trace (grid + seed shared
+    # via common.py): that is what makes the fingerprint-identity assertion
+    # meaningful.  The diurnal scenario reshapes the same daily volume.
+    neurons, batch, num_queries = serving_grid(quick)
+    shared = dict(
+        daily_samples=num_queries * batch, batch_size=batch, neuron_counts=neurons
+    )
+    scenarios = [Scenario("poisson", PoissonProcess(), seed=SERVING_SEED, **shared)]
+    if not quick:
+        scenarios.append(
+            Scenario("diurnal", DiurnalProcess(night_level=0.05), seed=31, **shared)
+        )
+    return scenarios
+
+
+def _search_space(quick: bool) -> SearchSpace:
+    workloads = serving_bench_workloads(quick)
+    for workload in workloads.values():
+        workload.plan_for(4)  # pre-warm the shared plan cache (see bench_campaign)
+
+    def factory() -> QueryWorkloadFactory:
+        return QueryWorkloadFactory(
+            model_builder=lambda n: workloads[n].model,
+            batch_builder=serving_batch_builder(workloads),
+        )
+
+    backends = {"fsd": lambda: serving_fsd_backend(workloads)}
+    knobs = {"coalesce_window_seconds": (0.0, 1800.0)}
+    if not quick:
+        backends["server-job"] = lambda: ServerServingBackend(
+            scaled_cloud(), ServerMode.JOB_SCOPED, factory()
+        )
+        knobs["coalesce_max_hold_seconds"] = (None, 900.0)
+    return SearchSpace(backends=backends, knobs=knobs)
+
+
+def _neutral_fsd_result(report):
+    """The frontier's fsd candidate with no constructed policies, if any."""
+    for result in report.frontier:
+        if result.candidate.backend == "fsd" and not policies_from_knobs(
+            result.candidate.knob_dict
+        ):
+            return result
+    return None
+
+
+def _check_serving_reference(report) -> None:
+    """A neutral-knob fsd frontier cell must equal BENCH_serving's fingerprint."""
+    neutral = _neutral_fsd_result(report)
+    if neutral is None:
+        print("  (no neutral fsd candidate in the frontier; skipping reference check)")
+        return
+    if not SERVING_RESULT_PATH.exists():
+        print(f"  (no {SERVING_RESULT_PATH.name}; skipping reference fingerprint check)")
+        return
+    history = json.loads(SERVING_RESULT_PATH.read_text())
+    references = [
+        record
+        for record in history.get("records", [])
+        if record.get("label") == SERVING_REFERENCE_LABEL and not record.get("quick")
+    ]
+    if not references:
+        print(f"  (no '{SERVING_REFERENCE_LABEL}' record; skipping reference fingerprint check)")
+        return
+    reference = references[-1]["replay"]["simulated"]
+    if neutral.summary != reference:
+        diff = {
+            key: (neutral.summary.get(key), reference.get(key))
+            for key in set(neutral.summary) | set(reference)
+            if neutral.summary.get(key) != reference.get(key)
+        }
+        raise RuntimeError(
+            "shared-timeline invariant violated: the planner's neutral fsd "
+            f"candidate no longer reproduces the '{SERVING_REFERENCE_LABEL}' "
+            f"serving fingerprint; differing keys: {diff}"
+        )
+    print(
+        f"  frontier cell {neutral.label!r} reproduces the "
+        f"'{SERVING_REFERENCE_LABEL}' serving fingerprint exactly "
+        "(shared-timeline invariant holds)"
+    )
+
+
+def run(quick: bool = False, label: str | None = None) -> dict:
+    scenarios = _scenarios(quick)
+    space = _search_space(quick)
+    slo = SLOSpec(p95_latency_seconds=SLO_P95_SECONDS)
+    planner = DeploymentPlanner(space, slo, refine_rounds=1, max_finalists=6)
+
+    start = time.perf_counter()
+    reports = {scenario.name: planner.plan(scenario) for scenario in scenarios}
+    wall_seconds = time.perf_counter() - start
+
+    if not quick:
+        _check_serving_reference(reports["poisson"])
+
+    record = {
+        "label": label or git_rev(),
+        "git_rev": git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "slo": slo.describe(),
+        "search_space": {
+            "backends": sorted(space.backends),
+            "knobs": {key: list(values) for key, values in space.knobs.items()},
+        },
+        "wall_seconds": wall_seconds,
+        "plans": {name: report.to_dict() for name, report in reports.items()},
+    }
+
+    history = {"records": []}
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    history.setdefault("records", []).append(record)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(f"planner benchmark -- label={record['label']} rev={record['git_rev']}")
+    for name, report in reports.items():
+        print(
+            f"  {name}: {len(report.candidates)} candidates scored, "
+            f"{len(report.finalists)} finalists replayed, frontier="
+            f"{report.frontier_labels}, winner={report.winner_label}"
+        )
+        print()
+        print(report.render_markdown())
+        print()
+    print(f"  total wall-clock {wall_seconds:.3f}s")
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny search space (CI smoke)")
+    parser.add_argument("--label", default=None, help="trajectory label for this record")
+    args = parser.parse_args()
+    run(quick=args.quick, label=args.label)
+
+
+if __name__ == "__main__":
+    main()

@@ -31,8 +31,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from dataclasses import replace
-
 from repro import (
     CloudEnvironment,
     EngineConfig,
@@ -76,16 +74,14 @@ COMPUTE_SCALE = 0.0005
 
 def scaled_latency() -> LatencyModel:
     """Latency model with uniformly scaled compute throughputs (see above)."""
-    base = LatencyModel()
     if os.environ.get("FSD_BENCH_FULL") == "1":
-        return base
-    return replace(
-        base,
-        faas_flops_per_vcpu=base.faas_flops_per_vcpu * COMPUTE_SCALE,
-        vm_flops_per_vcpu=base.vm_flops_per_vcpu * COMPUTE_SCALE,
-        hpc_flops_per_core=base.hpc_flops_per_core * COMPUTE_SCALE,
-        endpoint_flops_per_vcpu=base.endpoint_flops_per_vcpu * COMPUTE_SCALE,
-    )
+        return LatencyModel()
+    # One shared implementation of the four-field throughput scaling (the
+    # serving backend specs use the same helper), so the calibration cannot
+    # drift between bench-built and spec-built backends.
+    from repro.serving.factories import compute_scaled_latency
+
+    return compute_scaled_latency(COMPUTE_SCALE)
 
 
 def scaled_cloud() -> CloudEnvironment:

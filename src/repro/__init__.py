@@ -59,14 +59,19 @@ from .core import (
     Variant,
 )
 from .costmodel import (
+    CandidateEstimate,
     CoalescingProfile,
     CoalescingRecommendation,
     CostBreakdown,
     CostValidationReport,
+    QueryCostModel,
     Recommendation,
+    SizeStats,
     WorkloadCostEstimator,
     WorkloadEstimate,
     WorkloadProfile,
+    WorkloadStats,
+    estimate_candidate,
     estimate_from_metrics,
     recommend_coalescing,
     recommend_variant,
@@ -79,6 +84,18 @@ from .experiments import (
     CellResult,
 )
 from .model import SparseDNN
+from .planner import (
+    BackendCalibration,
+    CandidateResult,
+    DeploymentPlanner,
+    PlanCandidate,
+    PlanReport,
+    SearchSpace,
+    SLOSpec,
+    SLOVerdict,
+    calibrate_backend,
+    estimate_cold_fraction,
+)
 from .scenarios import (
     ArrivalProcess,
     BurstyProcess,
@@ -92,18 +109,24 @@ from .scenarios import (
 )
 from .serving import (
     BatchCoalescingPolicy,
+    EndpointBackendSpec,
     EndpointServingBackend,
+    FSDBackendSpec,
     FSDServingBackend,
+    HPCBackendSpec,
     HPCServingBackend,
     InferenceServer,
+    PolicySetSpec,
     QueryRecord,
     QueryWorkloadFactory,
     QueueDepthAutoscaler,
     SchedulingPolicy,
+    ServerBackendSpec,
     ServerServingBackend,
     ServingBackend,
     ServingConfig,
     ServingReport,
+    policies_from_knobs,
 )
 from .partitioning import (
     ContiguousPartitioner,
@@ -154,18 +177,34 @@ __all__ = [
     "LaunchTree",
     "Variant",
     # cost model
+    "CandidateEstimate",
     "CoalescingProfile",
     "CoalescingRecommendation",
     "CostBreakdown",
     "CostValidationReport",
+    "QueryCostModel",
     "Recommendation",
+    "SizeStats",
     "WorkloadCostEstimator",
     "WorkloadEstimate",
     "WorkloadProfile",
+    "WorkloadStats",
+    "estimate_candidate",
     "estimate_from_metrics",
     "recommend_coalescing",
     "recommend_variant",
     "validate_cost_model",
+    # planner
+    "BackendCalibration",
+    "CandidateResult",
+    "DeploymentPlanner",
+    "PlanCandidate",
+    "PlanReport",
+    "SearchSpace",
+    "SLOSpec",
+    "SLOVerdict",
+    "calibrate_backend",
+    "estimate_cold_fraction",
     # model & partitioning
     "SparseDNN",
     "ContiguousPartitioner",
@@ -191,18 +230,24 @@ __all__ = [
     "CellResult",
     # serving
     "BatchCoalescingPolicy",
+    "EndpointBackendSpec",
     "EndpointServingBackend",
+    "FSDBackendSpec",
     "FSDServingBackend",
+    "HPCBackendSpec",
     "HPCServingBackend",
     "InferenceServer",
+    "PolicySetSpec",
     "QueryRecord",
     "QueryWorkloadFactory",
     "QueueDepthAutoscaler",
     "SchedulingPolicy",
+    "ServerBackendSpec",
     "ServerServingBackend",
     "ServingBackend",
     "ServingConfig",
     "ServingReport",
+    "policies_from_knobs",
     # workloads
     "GraphChallengeConfig",
     "InferenceQuery",

@@ -21,6 +21,13 @@ from .recommend import (
     recommend_coalescing,
     recommend_variant,
 )
+from .scoring import (
+    CandidateEstimate,
+    QueryCostModel,
+    SizeStats,
+    WorkloadStats,
+    estimate_candidate,
+)
 from .validator import CostValidationReport, validate_cost_model
 
 __all__ = [
@@ -43,6 +50,11 @@ __all__ = [
     "WorkloadProfile",
     "recommend_coalescing",
     "recommend_variant",
+    "CandidateEstimate",
+    "QueryCostModel",
+    "SizeStats",
+    "WorkloadStats",
+    "estimate_candidate",
     "CostValidationReport",
     "validate_cost_model",
 ]

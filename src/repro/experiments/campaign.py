@@ -35,7 +35,7 @@ import json
 import math
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -298,6 +298,16 @@ class Campaign:
             for policy_set in self.policy_sets
         ]
 
+    def _validate_cells(self, cells: Sequence[CampaignCell]) -> List[CampaignCell]:
+        for cell in cells:
+            if cell.scenario not in self.scenarios:
+                raise KeyError(f"cell names unknown scenario {cell.scenario!r}")
+            if cell.backend not in self.backends:
+                raise KeyError(f"cell names unknown backend {cell.backend!r}")
+            if cell.policy_set not in self.policy_sets:
+                raise KeyError(f"cell names unknown policy set {cell.policy_set!r}")
+        return list(cells)
+
     def run_cell(self, cell: CampaignCell) -> CellResult:
         """Replay one cell: fresh workload, fresh backend, fresh policies."""
         scenario = self.scenarios[cell.scenario]
@@ -315,21 +325,42 @@ class Campaign:
         wall_seconds = time.perf_counter() - start
         return CellResult(cell=cell, summary=report.summary(), wall_seconds=wall_seconds)
 
-    def run(self, max_workers: Optional[int] = None) -> CampaignReport:
-        """Replay the whole grid; cells run concurrently when possible.
+    def run(
+        self,
+        max_workers: Optional[int] = None,
+        executor: str = "thread",
+        cells: Optional[Sequence[CampaignCell]] = None,
+    ) -> CampaignReport:
+        """Replay the grid; cells run concurrently when possible.
 
         Each cell owns a private cloud environment (the backend-factory
         contract), so cells are embarrassingly parallel: they are dispatched
-        to a thread pool and collected by grid index, making the report
+        to an executor pool and collected by grid index, making the report
         deterministic regardless of scheduling.  ``max_workers=1`` forces a
         serial replay (useful for profiling); the default sizes the pool to
         the grid and the machine.
+
+        ``executor`` picks the pool kind: ``"thread"`` (default; cells spend
+        much of their time in numpy/scipy, which release the GIL) or
+        ``"process"`` for true multi-core replay.  The process pool pickles
+        the cell dispatch, so every scenario, backend factory and policy-set
+        factory must be picklable -- use named top-level factories (e.g. the
+        :mod:`repro.serving.factories` specs) rather than lambdas or
+        closures.  Reports are identical across executors.
+
+        ``cells`` restricts the replay to an explicit cell list (each cell
+        must name configured scenario/backend/policy-set entries) -- the
+        deployment planner uses this to evaluate one (backend, policy) pair
+        per candidate instead of the full cross product.
         """
-        cells = self.cells()
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
+        cells = self.cells() if cells is None else self._validate_cells(cells)
         if max_workers is None:
             max_workers = min(len(cells), os.cpu_count() or 1)
         if max_workers <= 1 or len(cells) == 1:
             return CampaignReport(cells=[self.run_cell(cell) for cell in cells])
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=max_workers) as pool:
             results = list(pool.map(self.run_cell, cells))
         return CampaignReport(cells=results)

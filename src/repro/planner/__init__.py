@@ -1,0 +1,36 @@
+"""SLO-constrained deployment planning over the serving configuration space.
+
+Given a scenario (any object with ``name``/``build()``/``describe()``, e.g.
+:class:`~repro.scenarios.Scenario` or
+:class:`~repro.scenarios.MixtureScenario`) and an :class:`SLOSpec`, the
+:class:`DeploymentPlanner` searches a declarative :class:`SearchSpace` of
+(backend x policy knob) configurations in two stages -- analytic pruning
+through the cost-model candidate scorer, then simulated evaluation of the
+surviving Pareto finalists through the campaign runner -- and returns a
+:class:`PlanReport` ranking the frontier of (daily cost, p95 latency) with
+per-candidate SLO verdicts and the cheapest compliant winner.
+"""
+
+from .calibration import BackendCalibration, calibrate_backend, estimate_cold_fraction
+from .planner import CandidateResult, DeploymentPlanner, PlanReport
+from .space import (
+    PlanCandidate,
+    SearchSpace,
+    SLOSpec,
+    SLOVerdict,
+    pareto_indices,
+)
+
+__all__ = [
+    "BackendCalibration",
+    "calibrate_backend",
+    "estimate_cold_fraction",
+    "CandidateResult",
+    "DeploymentPlanner",
+    "PlanReport",
+    "PlanCandidate",
+    "SearchSpace",
+    "SLOSpec",
+    "SLOVerdict",
+    "pareto_indices",
+]

@@ -1,0 +1,122 @@
+"""Probe-based calibration: fit analytic cost models per backend kind.
+
+The analytic pruning stage scores every candidate without replaying the
+workload, but it needs per-(backend, model size) cost/latency coefficients.
+Rather than asking callers to hand-tune them, :func:`calibrate_backend`
+derives them from **O(backends) probe executions** -- constant in the number
+of candidates, which is what makes analytic pruning cheaper than exhaustive
+replay:
+
+1. an empty begin/finish cycle captures the backend's *standing* cost over
+   the horizon (always-on fleets bill their whole fleet in ``begin``);
+2. per model size, one warm-up execution (absorbing cold starts and the
+   per-size planning/staging caches) followed by two warm probes at
+   ``s`` and ``2s`` samples fit the affine
+   :class:`~repro.costmodel.QueryCostModel` -- the same fixed-vs-marginal
+   decomposition the coalescing recommendation reasons about;
+3. the warm-up-minus-warm latency gap estimates the cold-start penalty.
+
+Every probe runs on a **throw-away backend instance** (a fresh factory
+call), so calibration never touches the private clouds the simulated
+evaluation stage replays on; all probes are virtual-time deterministic, so
+calibration is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..costmodel import QueryCostModel, WorkloadStats
+from ..serving import ServingBackend
+from ..workloads import InferenceQuery, SporadicWorkload
+
+__all__ = ["BackendCalibration", "calibrate_backend", "estimate_cold_fraction"]
+
+
+@dataclass(frozen=True)
+class BackendCalibration:
+    """Analytic coefficients of one backend kind over one workload."""
+
+    backend: str
+    #: horizon-scoped fixed bill (always-on fleets; zero for pay-per-use).
+    standing_cost: float
+    #: affine per-execution model per model size.
+    models: Dict[int, QueryCostModel]
+    #: the backend's warm keepalive, for cold-fraction estimation (``None``
+    #: means timeless warm reuse or no warm-pool concept at all).
+    warm_keepalive_seconds: Optional[float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "standing_cost": self.standing_cost,
+            "models": {str(neurons): model.to_dict() for neurons, model in self.models.items()},
+            "warm_keepalive_seconds": self.warm_keepalive_seconds,
+        }
+
+
+def calibrate_backend(
+    name: str,
+    factory: Callable[[], ServingBackend],
+    stats: WorkloadStats,
+) -> BackendCalibration:
+    """Fit :class:`BackendCalibration` for one backend kind via probes."""
+    backend = factory()
+    empty = SporadicWorkload(queries=[], horizon_seconds=stats.horizon_seconds)
+    backend.begin(empty)
+    standing_cost = backend.finish().total
+
+    models: Dict[int, QueryCostModel] = {}
+    for size in stats.sizes:
+        base_samples = max(1, int(round(size.mean_samples)))
+
+        def probe(query_id: int, samples: int):
+            query = InferenceQuery(
+                query_id=query_id, arrival_time=0.0, neurons=size.neurons, samples=samples
+            )
+            return backend.execute(query, at_time=0.0)
+
+        warmup = probe(0, base_samples)  # cold: pays planning caches + cold starts
+        small = probe(1, base_samples)  # warm
+        large = probe(2, 2 * base_samples)  # warm, doubled samples
+        models[size.neurons] = QueryCostModel.from_probes(
+            small=(base_samples, small.cost, small.latency_seconds),
+            large=(2 * base_samples, large.cost, large.latency_seconds),
+            cold_penalty_seconds=max(0.0, warmup.latency_seconds - small.latency_seconds),
+        )
+
+    return BackendCalibration(
+        backend=name,
+        standing_cost=standing_cost,
+        models=models,
+        warm_keepalive_seconds=getattr(backend, "warm_keepalive_seconds", None),
+    )
+
+
+def estimate_cold_fraction(
+    workload: SporadicWorkload, warm_keepalive_seconds: Optional[float]
+) -> float:
+    """Fraction of arrivals expected to find their warm pool expired.
+
+    Warm pools are per model size (each size is its own function), so the
+    relevant gaps are between consecutive arrivals *of the same size*; a gap
+    longer than the keepalive means the pool expired and the next query
+    starts cold.  The first arrival of each size is always cold.  A
+    ``None`` keepalive (timeless warm reuse, or substrates without a warm
+    pool) estimates zero.  This is a pruning heuristic: coalescing thins the
+    admission stream and lengthens effective gaps, which is deliberately
+    ignored here and left to the simulated stage.
+    """
+    if warm_keepalive_seconds is None or not workload.queries:
+        return 0.0
+    cold = 0
+    total = 0
+    for queries in workload.queries_by_neurons().values():
+        times = np.sort(np.asarray([query.arrival_time for query in queries]))
+        gaps = np.diff(times)
+        cold += 1 + int(np.count_nonzero(gaps > warm_keepalive_seconds))
+        total += len(queries)
+    return cold / total if total else 0.0

@@ -1,0 +1,469 @@
+"""The SLO-constrained deployment planner: prune analytically, verify by replay.
+
+:class:`DeploymentPlanner` answers the question the paper's Section IV-C
+decision procedure poses, generalised to the full serving configuration
+space: *what is the cheapest deployment configuration that meets my latency
+SLO for this workload?*  It works in two stages:
+
+1. **Analytic pruning.**  Every :class:`~repro.planner.PlanCandidate` of the
+   :class:`~repro.planner.SearchSpace` grid is scored through the cost-model
+   scorer (:func:`repro.costmodel.estimate_candidate`) using probe-fitted
+   per-backend coefficients -- O(backends) probes, never a full replay.
+   Successive-halving refinement then bisects the numeric knob intervals
+   around the analytic incumbent for a configurable number of rounds, and
+   dominated candidates are discarded: only the analytic Pareto frontier of
+   (cost, p95 latency) survives as *finalists*.
+2. **Simulated evaluation.**  The finalists are dispatched through the
+   existing :class:`~repro.experiments.Campaign` machinery -- one
+   private-cloud :class:`~repro.serving.InferenceServer` serve per candidate,
+   parallel across candidates, deterministic under the scenario seed -- and
+   the report carries each finalist's *unmodified*
+   :meth:`~repro.serving.ServingReport.summary` (the exact payload the
+   serving/campaign benchmarks fingerprint, so a policy-free FSD candidate
+   reproduces the serving benchmark's fingerprint bit-for-bit).
+
+The outcome is a :class:`PlanReport`: the simulated Pareto frontier of
+(daily cost, p95 latency), per-candidate SLO-compliance verdicts (including
+per-tenant overrides on mixture scenarios), the winner -- the cheapest
+frontier configuration that meets the SLO -- and markdown/JSON renderings
+consistent with :class:`~repro.experiments.CampaignReport`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..costmodel import CandidateEstimate, WorkloadStats, estimate_candidate
+from ..experiments import Campaign, CampaignCell
+from ..serving import PolicySetSpec
+from .calibration import BackendCalibration, calibrate_backend, estimate_cold_fraction
+from .space import PlanCandidate, SearchSpace, SLOSpec, SLOVerdict, pareto_indices
+
+__all__ = ["CandidateResult", "PlanReport", "DeploymentPlanner"]
+
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass
+class CandidateResult:
+    """One scored candidate: analytic estimate plus (for finalists) replay."""
+
+    candidate: PlanCandidate
+    analytic: CandidateEstimate
+    finalist: bool = False
+    #: the finalist's unmodified :meth:`ServingReport.summary` (``None`` for
+    #: analytically pruned candidates -- they were never replayed).
+    summary: Optional[Dict[str, object]] = None
+    slo: Optional[SLOVerdict] = None
+    wall_seconds: float = 0.0
+    #: scenario identity baked in by the planner (fingerprint context).
+    scenario: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return self.candidate.label
+
+    @property
+    def simulated_cost(self) -> Optional[float]:
+        if self.summary is None:
+            return None
+        return float(self.summary["cost_total"])  # type: ignore[arg-type]
+
+    def simulated_daily_cost(self, horizon_seconds: float) -> Optional[float]:
+        cost = self.simulated_cost
+        if cost is None:
+            return None
+        return cost * (_SECONDS_PER_DAY / horizon_seconds)
+
+    @property
+    def simulated_p95(self) -> Optional[float]:
+        if self.summary is None:
+            return None
+        value = self.summary["p95_latency_seconds"]
+        return None if value is None else float(value)
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """Stable content hash over (scenario, candidate, simulated summary).
+
+        Same policy as the campaign benchmark: simulated values only, never
+        wall-clock, so fixed scenario seeds reproduce it bit-for-bit.
+        ``None`` until the candidate has been replayed.
+        """
+        if self.summary is None:
+            return None
+        payload = {
+            "scenario": self.scenario,
+            "backend": self.candidate.backend,
+            "knobs": self.candidate.knob_dict,
+            "summary": self.summary,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "candidate": self.candidate.describe(),
+            "analytic": self.analytic.to_dict(),
+            "finalist": self.finalist,
+            "fingerprint": self.fingerprint,
+            "summary": self.summary,
+            "slo": None if self.slo is None else self.slo.to_dict(),
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "n/a"
+    return f"{value:.6g}"
+
+
+@dataclass
+class PlanReport:
+    """Ranked outcome of one planning run over one scenario."""
+
+    scenario: Dict[str, object]
+    slo: SLOSpec
+    horizon_seconds: float
+    candidates: List[CandidateResult]
+    #: labels of the simulated Pareto frontier, cheapest first.
+    frontier_labels: List[str]
+    #: cheapest SLO-compliant *evaluated* configuration (``None`` when no
+    #: evaluated configuration meets the SLO).  With only p95/budget bounds
+    #: the winner always lies on the frontier (a dominating point is at least
+    #: as compliant); p99 or per-tenant bounds can crown a dominated point.
+    winner_label: Optional[str]
+    executor: str = "thread"
+
+    # -- lookup ----------------------------------------------------------------
+
+    def result(self, label: str) -> CandidateResult:
+        for candidate in self.candidates:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no candidate labelled {label!r}")
+
+    @property
+    def finalists(self) -> List[CandidateResult]:
+        return [candidate for candidate in self.candidates if candidate.finalist]
+
+    @property
+    def frontier(self) -> List[CandidateResult]:
+        return [self.result(label) for label in self.frontier_labels]
+
+    @property
+    def winner(self) -> Optional[CandidateResult]:
+        return None if self.winner_label is None else self.result(self.winner_label)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "slo": self.slo.describe(),
+            "horizon_seconds": self.horizon_seconds,
+            "executor": self.executor,
+            "num_candidates": len(self.candidates),
+            "num_finalists": len(self.finalists),
+            "frontier": self.frontier_labels,
+            "winner": self.winner_label,
+            "candidates": [candidate.to_dict() for candidate in self.candidates],
+        }
+
+    def to_json(self, path: Optional[Union[str, "os.PathLike[str]"]] = None, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=False) + "\n"
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text
+
+    def render_markdown(self) -> str:
+        """A GitHub-flavoured table of the finalists, cheapest first."""
+        header = (
+            "| candidate | analytic $/day | simulated $/day | simulated p95 (s) "
+            "| SLO | frontier |"
+        )
+        separator = "|" + " --- |" * 6
+        ordered = sorted(
+            self.finalists,
+            key=lambda c: (c.simulated_cost if c.simulated_cost is not None else float("inf"), c.label),
+        )
+        rows = []
+        for candidate in ordered:
+            slo = "n/a" if candidate.slo is None else ("pass" if candidate.slo.compliant else "FAIL")
+            if candidate.label == self.winner_label:
+                marker = "winner"
+            else:
+                marker = "yes" if candidate.label in self.frontier_labels else ""
+            rows.append(
+                f"| {candidate.label} "
+                f"| {_format_value(candidate.analytic.daily_cost)} "
+                f"| {_format_value(candidate.simulated_daily_cost(self.horizon_seconds))} "
+                f"| {_format_value(candidate.simulated_p95)} "
+                f"| {slo} | {marker} |"
+            )
+        title = f"**Deployment plan -- {self.scenario.get('name', 'scenario')}**"
+        return "\n".join([title, "", header, separator, *rows])
+
+
+class DeploymentPlanner:
+    """Search a :class:`SearchSpace` for the cheapest SLO-compliant deployment."""
+
+    def __init__(
+        self,
+        search_space: SearchSpace,
+        slo: SLOSpec,
+        refine_rounds: int = 1,
+        max_finalists: int = 8,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+    ):
+        if refine_rounds < 0:
+            raise ValueError("refine_rounds cannot be negative")
+        if max_finalists < 1:
+            raise ValueError("max_finalists must be at least 1")
+        if executor not in ("thread", "process"):
+            # Fail fast: Campaign.run would only raise after the (expensive)
+            # calibration and analytic-scoring stages have completed.
+            raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
+        self.search_space = search_space
+        self.slo = slo
+        self.refine_rounds = refine_rounds
+        self.max_finalists = max_finalists
+        self.executor = executor
+        self.max_workers = max_workers
+
+    # -- analytic stage --------------------------------------------------------
+
+    def _score(
+        self,
+        candidate: PlanCandidate,
+        stats: WorkloadStats,
+        calibration: BackendCalibration,
+        cold_fraction: float,
+    ) -> CandidateEstimate:
+        knobs = candidate.knob_dict
+        return estimate_candidate(
+            stats,
+            calibration.models,
+            standing_cost=calibration.standing_cost,
+            coalesce_window_seconds=float(knobs.get("coalesce_window_seconds") or 0.0),
+            coalesce_max_hold_seconds=(
+                None
+                if knobs.get("coalesce_max_hold_seconds") is None
+                else float(knobs["coalesce_max_hold_seconds"])  # type: ignore[arg-type]
+            ),
+            coalesce_max_batch_queries=(
+                None
+                if knobs.get("coalesce_max_batch_queries") is None
+                else int(knobs["coalesce_max_batch_queries"])  # type: ignore[arg-type]
+            ),
+            cold_fraction=cold_fraction,
+        )
+
+    def _analytically_feasible(self, estimate: CandidateEstimate) -> bool:
+        if (
+            self.slo.p95_latency_seconds is not None
+            and estimate.p95_latency_seconds > self.slo.p95_latency_seconds
+        ):
+            return False
+        if self.slo.daily_budget is not None and estimate.daily_cost > self.slo.daily_budget:
+            return False
+        return True
+
+    def _incumbent(self, scored: Dict[PlanCandidate, CandidateEstimate]) -> PlanCandidate:
+        """Cheapest analytically feasible candidate, else the fastest one."""
+        feasible = [c for c, e in scored.items() if self._analytically_feasible(e)]
+        pool = feasible or list(scored)
+        return min(
+            pool,
+            key=lambda c: (
+                scored[c].total_cost,
+                scored[c].p95_latency_seconds,
+                c.label,
+            ),
+        )
+
+    def _select_finalists(
+        self, scored: Dict[PlanCandidate, CandidateEstimate]
+    ) -> List[PlanCandidate]:
+        """The analytic Pareto frontier, cheapest first, capped in size."""
+        candidates = list(scored)
+        points = [
+            (scored[c].total_cost, scored[c].p95_latency_seconds) for c in candidates
+        ]
+        frontier = [candidates[i] for i in pareto_indices(points)]
+        frontier.sort(
+            key=lambda c: (scored[c].total_cost, scored[c].p95_latency_seconds, c.label)
+        )
+        return frontier[: self.max_finalists]
+
+    # -- full pipeline ---------------------------------------------------------
+
+    def plan(self, scenario) -> PlanReport:
+        """Search the space for ``scenario`` and return the ranked report."""
+        # Scenarios exposing a ``tenants`` attribute (Scenario/MixtureScenario)
+        # are validated upfront: a per-tenant override naming a tenant the
+        # scenario does not serve -- including any override against an
+        # untagged scenario -- can never be satisfied, so fail before paying
+        # for calibration and replays.  Duck-typed scenarios without the
+        # attribute skip the check (their tenancy is unknown until built).
+        tenants = getattr(scenario, "tenants", None)
+        if self.slo.per_tenant_p95 and tenants is not None:
+            unknown_tenants = set(self.slo.per_tenant_p95) - set(tenants)
+            if unknown_tenants:
+                raise ValueError(
+                    f"SLO names tenants {sorted(unknown_tenants)} that scenario "
+                    f"{scenario.name!r} does not serve (tenants: {list(tenants)})"
+                )
+
+        workload = scenario.build()
+        stats = WorkloadStats.from_workload(workload)
+        scenario_describe = scenario.describe()
+
+        calibrations = {
+            name: calibrate_backend(name, factory, stats)
+            for name, factory in self.search_space.backends.items()
+        }
+        cold_fractions = {
+            name: estimate_cold_fraction(workload, calibration.warm_keepalive_seconds)
+            for name, calibration in calibrations.items()
+        }
+
+        # Stage 1a: score the declarative grid.
+        scored: Dict[PlanCandidate, CandidateEstimate] = {}
+        for candidate in self.search_space.candidates():
+            scored[candidate] = self._score(
+                candidate,
+                stats,
+                calibrations[candidate.backend],
+                cold_fractions[candidate.backend],
+            )
+
+        # Stage 1b: successive-halving refinement around the incumbent.
+        for _ in range(self.refine_rounds):
+            incumbent = self._incumbent(scored)
+            proposals = self.search_space.refine_around(incumbent, scored.keys())
+            if not proposals:
+                break
+            for candidate in proposals:
+                scored[candidate] = self._score(
+                    candidate,
+                    stats,
+                    calibrations[candidate.backend],
+                    cold_fractions[candidate.backend],
+                )
+
+        # Stage 1c: discard dominated candidates; survivors are the finalists.
+        finalists = self._select_finalists(scored)
+        finalist_set = set(finalists)
+
+        results: List[CandidateResult] = [
+            CandidateResult(
+                candidate=candidate,
+                analytic=estimate,
+                finalist=candidate in finalist_set,
+                scenario=scenario_describe,
+            )
+            for candidate, estimate in scored.items()
+        ]
+        by_candidate = {result.candidate: result for result in results}
+
+        # Stage 2: simulated evaluation of the finalists via the campaign
+        # machinery -- one private-cloud serve per *distinct* configuration,
+        # in parallel.  Finalists whose knobs construct the identical policy
+        # tuple on the same backend (e.g. neutral-knob variants) replay
+        # identically, so each such group is served once and shares the cell.
+        if finalists:
+            labels = [candidate.label for candidate in finalists]
+            if len(set(labels)) != len(labels):
+                raise RuntimeError(f"non-unique candidate labels: {labels}")
+
+            def replay_key(candidate: PlanCandidate) -> tuple:
+                policies = PolicySetSpec.from_knobs(candidate.knob_dict)()
+                identity = [policy.describe() for policy in policies]
+                return (candidate.backend, json.dumps(identity, sort_keys=True))
+
+            representatives: Dict[tuple, PlanCandidate] = {}
+            representative_of: Dict[PlanCandidate, PlanCandidate] = {}
+            for candidate in finalists:
+                representative = representatives.setdefault(replay_key(candidate), candidate)
+                representative_of[candidate] = representative
+            replayed = list(representatives.values())
+
+            campaign = Campaign(
+                [scenario],
+                backends={
+                    candidate.label: self.search_space.backends[candidate.backend]
+                    for candidate in replayed
+                },
+                policy_sets={
+                    candidate.label: PolicySetSpec.from_knobs(candidate.knob_dict)
+                    for candidate in replayed
+                },
+            )
+            cells = [
+                CampaignCell(scenario=scenario.name, backend=c.label, policy_set=c.label)
+                for c in replayed
+            ]
+            campaign_report = campaign.run(
+                max_workers=self.max_workers, executor=self.executor, cells=cells
+            )
+            cell_of = dict(zip(replayed, campaign_report.cells))
+            for candidate in finalists:
+                cell_result = cell_of[representative_of[candidate]]
+                result = by_candidate[candidate]
+                result.summary = cell_result.summary
+                result.wall_seconds = cell_result.wall_seconds
+                result.slo = self.slo.evaluate(cell_result.summary, workload.horizon_seconds)
+
+        # Simulated Pareto frontier over (cost, p95) of the replayed finalists.
+        evaluated = [by_candidate[c] for c in finalists if by_candidate[c].summary is not None]
+        points = [
+            (
+                result.simulated_cost if result.simulated_cost is not None else 0.0,
+                result.simulated_p95 if result.simulated_p95 is not None else 0.0,
+            )
+            for result in evaluated
+        ]
+        frontier = [evaluated[i] for i in pareto_indices(points)]
+        frontier.sort(
+            key=lambda r: (
+                r.simulated_cost if r.simulated_cost is not None else 0.0,
+                r.simulated_p95 if r.simulated_p95 is not None else 0.0,
+                r.label,
+            )
+        )
+        frontier_labels = [result.label for result in frontier]
+
+        # The winner is the cheapest compliant configuration among ALL
+        # evaluated finalists, not just frontier members: p99 or per-tenant
+        # bounds can fail a dominating point while a dominated one passes.
+        winner_label: Optional[str] = None
+        for result in sorted(
+            evaluated,
+            key=lambda r: (
+                r.simulated_cost if r.simulated_cost is not None else 0.0,
+                r.simulated_p95 if r.simulated_p95 is not None else 0.0,
+                r.label,
+            ),
+        ):
+            if result.slo is not None and result.slo.compliant:
+                winner_label = result.label
+                break
+
+        return PlanReport(
+            scenario=scenario_describe,
+            slo=self.slo,
+            horizon_seconds=workload.horizon_seconds,
+            candidates=results,
+            frontier_labels=frontier_labels,
+            winner_label=winner_label,
+            executor=self.executor,
+        )

@@ -1,0 +1,292 @@
+"""The planner's search-space protocol: SLOs, candidates, grids, refinement.
+
+A :class:`SearchSpace` declares the configuration space the planner explores
+for one scenario:
+
+* **backends** -- named zero-argument factories returning fresh
+  :class:`~repro.serving.ServingBackend` instances (the campaign-runner
+  contract: each call owns a private cloud).  Backend-level knobs (worker
+  count, variant, memory) are expressed by registering multiple named
+  factories -- e.g. ``{"fsd-q4": ..., "fsd-q8": ...}`` -- so one dimension
+  covers both the substrate and its sizing.
+* **knobs** -- a declarative grid of scheduling-policy knob values (the
+  :func:`repro.serving.policies_from_knobs` vocabulary).  The cross product
+  of backends and knob values is the base grid; *successive-halving
+  refinement* (:meth:`SearchSpace.refine_around`) then bisects the numeric
+  knob intervals around the analytic incumbent, narrowing onto promising
+  regions without enumerating a dense grid up front.
+
+:class:`SLOSpec` states what "good" means -- a p95/p99 latency bound, an
+optional daily budget, and optional per-tenant p95 overrides checked against
+the serving report's per-tenant pivot (mixture scenarios).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..serving import KNOWN_POLICY_KNOBS, ServingBackend, policies_from_knobs
+
+__all__ = [
+    "KnobValue",
+    "SLOSpec",
+    "SLOVerdict",
+    "PlanCandidate",
+    "SearchSpace",
+    "pareto_indices",
+]
+
+KnobValue = Union[None, bool, int, float, str]
+BackendFactory = Callable[[], ServingBackend]
+
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """Whether one evaluated configuration met the SLO, and how it failed."""
+
+    compliant: bool
+    violations: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"compliant": self.compliant, "violations": list(self.violations)}
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A service-level objective: latency bounds plus an optional budget.
+
+    ``per_tenant_p95`` overrides the global p95 bound for named tenants of a
+    :class:`~repro.scenarios.MixtureScenario`; it is checked against the
+    serving summary's per-tenant pivot, so it only applies to workloads that
+    actually carry tenant tags (an override naming an absent tenant is a
+    violation -- the SLO asks for a guarantee the replay cannot witness).
+    """
+
+    p95_latency_seconds: Optional[float] = None
+    p99_latency_seconds: Optional[float] = None
+    daily_budget: Optional[float] = None
+    per_tenant_p95: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "per_tenant_p95", dict(sorted(dict(self.per_tenant_p95).items()))
+        )
+        bounds = (
+            self.p95_latency_seconds,
+            self.p99_latency_seconds,
+            self.daily_budget,
+            *self.per_tenant_p95.values(),
+        )
+        if all(bound is None for bound in bounds):
+            raise ValueError("an SLO needs at least one bound")
+        for bound in bounds:
+            if bound is not None and bound <= 0:
+                raise ValueError(f"SLO bounds must be positive, got {bound}")
+
+    def evaluate(self, summary: Mapping[str, object], horizon_seconds: float) -> SLOVerdict:
+        """Check one serving summary against every configured bound.
+
+        Latency percentiles of an empty replay are ``None`` in the summary;
+        a bound trivially holds over zero queries, so those checks pass.
+        """
+        violations: List[str] = []
+
+        def check_latency(name: str, key: str, bound: Optional[float], view: Mapping) -> None:
+            if bound is None:
+                return
+            value = view.get(key)
+            if value is not None and float(value) > bound:
+                violations.append(f"{name} {float(value):.3f}s exceeds the {bound:.3f}s bound")
+
+        check_latency("p95 latency", "p95_latency_seconds", self.p95_latency_seconds, summary)
+        check_latency("p99 latency", "p99_latency_seconds", self.p99_latency_seconds, summary)
+        if self.daily_budget is not None:
+            daily = float(summary["cost_total"]) * (_SECONDS_PER_DAY / horizon_seconds)  # type: ignore[arg-type]
+            if daily > self.daily_budget:
+                violations.append(
+                    f"daily cost ${daily:.6f} exceeds the ${self.daily_budget:.6f} budget"
+                )
+        if self.per_tenant_p95:
+            tenants: Mapping[str, Mapping[str, object]] = summary.get("tenants", {})  # type: ignore[assignment]
+            for tenant, bound in self.per_tenant_p95.items():
+                view = tenants.get(tenant)
+                if view is None:
+                    violations.append(f"tenant {tenant!r} has a p95 override but no queries in the replay")
+                    continue
+                check_latency(f"tenant {tenant!r} p95 latency", "p95_latency_seconds", bound, view)
+        return SLOVerdict(compliant=not violations, violations=tuple(violations))
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "p95_latency_seconds": self.p95_latency_seconds,
+            "p99_latency_seconds": self.p99_latency_seconds,
+            "daily_budget": self.daily_budget,
+            "per_tenant_p95": dict(self.per_tenant_p95),
+        }
+
+
+def _format_knob(value: KnobValue) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One point of the search space: a backend kind plus policy knobs.
+
+    Knobs are stored as a sorted tuple of pairs so equal candidates compare,
+    hash and serialise identically regardless of construction order; the
+    neutral knob values (zero window, ``None`` autoscale limit) are part of
+    the identity even though they construct no policy -- two candidates may
+    therefore replay identically while remaining distinct search points.
+    """
+
+    backend: str
+    knobs: Tuple[Tuple[str, KnobValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.backend:
+            raise ValueError("a candidate needs a backend name")
+        canonical = tuple(sorted(dict(self.knobs).items()))
+        object.__setattr__(self, "knobs", canonical)
+        policies_from_knobs(self.knob_dict)  # validate the vocabulary eagerly
+
+    @property
+    def knob_dict(self) -> Dict[str, KnobValue]:
+        return dict(self.knobs)
+
+    @property
+    def label(self) -> str:
+        """Human-readable unique identity, e.g. ``fsd[coalesce_window_seconds=600]``."""
+        if not self.knobs:
+            return self.backend
+        inner = ",".join(f"{key}={_format_knob(value)}" for key, value in self.knobs)
+        return f"{self.backend}[{inner}]"
+
+    def with_knob(self, key: str, value: KnobValue) -> "PlanCandidate":
+        knobs = self.knob_dict
+        knobs[key] = value
+        return PlanCandidate(backend=self.backend, knobs=tuple(knobs.items()))
+
+    def describe(self) -> Dict[str, object]:
+        return {"backend": self.backend, "knobs": self.knob_dict, "label": self.label}
+
+
+class SearchSpace:
+    """Declarative (backend x policy knob) grid with numeric refinement."""
+
+    def __init__(
+        self,
+        backends: Mapping[str, BackendFactory],
+        knobs: Optional[Mapping[str, Sequence[KnobValue]]] = None,
+    ):
+        if not backends:
+            raise ValueError("a search space needs at least one backend")
+        self.backends: Dict[str, BackendFactory] = dict(backends)
+        self.knobs: Dict[str, Tuple[KnobValue, ...]] = {}
+        for key, values in (knobs or {}).items():
+            if key not in KNOWN_POLICY_KNOBS:
+                raise ValueError(
+                    f"unknown policy knob {key!r}; known knobs: {sorted(KNOWN_POLICY_KNOBS)}"
+                )
+            grid = tuple(dict.fromkeys(values))
+            if not grid:
+                raise ValueError(f"knob {key!r} has an empty value grid")
+            self.knobs[key] = grid
+
+    def candidates(self) -> List[PlanCandidate]:
+        """The base grid: every backend crossed with every knob combination."""
+        keys = list(self.knobs)
+        combos = list(itertools.product(*(self.knobs[key] for key in keys)))
+        return [
+            PlanCandidate(backend=backend, knobs=tuple(zip(keys, combo)))
+            for backend in self.backends
+            for combo in combos
+        ]
+
+    def refine_around(
+        self, incumbent: PlanCandidate, explored: Iterable[PlanCandidate]
+    ) -> List[PlanCandidate]:
+        """Successive-halving refinement: bisect numeric knob intervals.
+
+        For every numeric knob, the explored values (same backend) around the
+        incumbent's value define its current bracket; the midpoints to the
+        nearest lower and higher explored values are proposed as new
+        candidates (one knob varied at a time, coordinate-descent style).
+        Each round therefore halves the resolution of the grid around the
+        incumbent.  Integer-typed knob grids round their midpoints and drop
+        degenerate proposals; already-explored candidates are never
+        re-proposed, so refinement terminates once the bracket collapses.
+        """
+        explored_set: Set[PlanCandidate] = set(explored)
+        seen_values: Dict[str, Set[KnobValue]] = {key: set(values) for key, values in self.knobs.items()}
+        for candidate in explored_set:
+            if candidate.backend != incumbent.backend:
+                continue
+            for key, value in candidate.knobs:
+                seen_values.setdefault(key, set()).add(value)
+
+        proposals: List[PlanCandidate] = []
+        for key, value in incumbent.knobs:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            numeric = sorted(
+                v for v in seen_values.get(key, set())
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            )
+            integral = all(isinstance(v, int) for v in numeric)
+            below = max((v for v in numeric if v < value), default=None)
+            above = min((v for v in numeric if v > value), default=None)
+            for neighbour in (below, above):
+                if neighbour is None:
+                    continue
+                midpoint: KnobValue = (float(value) + float(neighbour)) / 2.0
+                if integral:
+                    midpoint = int(round(midpoint))
+                    if midpoint in (value, neighbour):
+                        continue
+                proposal = incumbent.with_knob(key, midpoint)
+                if proposal not in explored_set and proposal not in proposals:
+                    proposals.append(proposal)
+        return proposals
+
+
+def pareto_indices(points: Sequence[Tuple[float, float]]) -> List[int]:
+    """Indices of the non-dominated points of a (cost, latency) cloud.
+
+    A point is dominated when another is at least as good on both axes and
+    strictly better on one; ties survive together (the simulated stage, or
+    the reader, separates them).  Order is preserved.
+    """
+    kept: List[int] = []
+    for i, (cost_i, latency_i) in enumerate(points):
+        dominated = False
+        for j, (cost_j, latency_j) in enumerate(points):
+            if i == j:
+                continue
+            if (
+                cost_j <= cost_i
+                and latency_j <= latency_i
+                and (cost_j < cost_i or latency_j < latency_i)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(i)
+    return kept

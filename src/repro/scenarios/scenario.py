@@ -121,6 +121,16 @@ class Scenario:
             raise ValueError("a scenario needs a non-empty name")
         object.__setattr__(self, "neuron_counts", tuple(int(n) for n in self.neuron_counts))
 
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        """Tenant tags this scenario serves (empty for untagged workloads).
+
+        Mirrors :attr:`MixtureScenario.tenants` so callers -- the deployment
+        planner validating per-tenant SLO overrides -- can treat single and
+        mixture scenarios uniformly.
+        """
+        return (self.tenant,) if self.tenant is not None else ()
+
     def build(self) -> SporadicWorkload:
         """Materialise the workload (deterministic under the scenario seed)."""
         return build_scenario_workload(

@@ -17,6 +17,15 @@ from .backends import (
     ServingBackend,
     split_batch_outcome,
 )
+from .factories import (
+    KNOWN_POLICY_KNOBS,
+    EndpointBackendSpec,
+    FSDBackendSpec,
+    HPCBackendSpec,
+    PolicySetSpec,
+    ServerBackendSpec,
+    policies_from_knobs,
+)
 from .policies import (
     BatchCoalescingPolicy,
     HoldDecision,
@@ -40,6 +49,13 @@ __all__ = [
     "ServerServingBackend",
     "ServingBackend",
     "split_batch_outcome",
+    "KNOWN_POLICY_KNOBS",
+    "EndpointBackendSpec",
+    "FSDBackendSpec",
+    "HPCBackendSpec",
+    "PolicySetSpec",
+    "ServerBackendSpec",
+    "policies_from_knobs",
     "BatchCoalescingPolicy",
     "HoldDecision",
     "QueueDepthAutoscaler",

@@ -1,0 +1,277 @@
+"""Declarative, picklable construction of backends and policy sets.
+
+Two consumers need to build serving-layer objects from *plain data* instead
+of ad-hoc closures:
+
+* the deployment planner (:mod:`repro.planner`) searches a (backend x policy
+  knob) space where every candidate's policy configuration is a serialized
+  knob dict -- :func:`policies_from_knobs` is the one place that vocabulary
+  is interpreted; and
+* process-pool campaigns (``Campaign.run(executor="process")``) must pickle
+  the cell dispatch, which rules out lambda factories -- the ``*BackendSpec``
+  dataclasses below are named top-level callables that construct a fresh
+  backend (with a private :class:`~repro.cloud.CloudEnvironment`) per call,
+  so a campaign built from specs ships to worker processes unchanged.
+
+The knob vocabulary (all keys optional; unknown keys are rejected):
+
+========================================  =====================================
+key                                       meaning
+========================================  =====================================
+``coalesce_window_seconds``               :class:`BatchCoalescingPolicy` window;
+                                          absent or ``<= 0`` means no batching
+                                          (a zero window is byte-identical to
+                                          no policy, so none is constructed)
+``coalesce_max_batch_queries``            cap on queries per merged batch
+``coalesce_max_hold_seconds``             SLO cap on the leader's hold
+``autoscale_max_limit``                   :class:`QueueDepthAutoscaler` upper
+                                          limit; absent or ``None`` means no
+                                          autoscaler
+``autoscale_min_limit``                   autoscaler lower limit (default 1)
+``autoscale_queries_per_slot``            queue depth per extra slot (default 2)
+``autoscale_scale_down_lag_ticks``        scale-down hysteresis (default 0)
+========================================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Tuple
+
+from ..baselines import ServerMode
+from ..cloud import CloudEnvironment, LatencyModel
+from ..core import EngineConfig, Variant
+from ..partitioning import HypergraphPartitioner
+from .backends import (
+    EndpointServingBackend,
+    FSDServingBackend,
+    HPCServingBackend,
+    QueryWorkloadFactory,
+    ServerServingBackend,
+    ServingBackend,
+)
+from .policies import BatchCoalescingPolicy, QueueDepthAutoscaler, SchedulingPolicy
+
+__all__ = [
+    "KNOWN_POLICY_KNOBS",
+    "compute_scaled_latency",
+    "policies_from_knobs",
+    "PolicySetSpec",
+    "FSDBackendSpec",
+    "ServerBackendSpec",
+    "EndpointBackendSpec",
+    "HPCBackendSpec",
+]
+
+#: every knob key :func:`policies_from_knobs` understands.
+KNOWN_POLICY_KNOBS = frozenset(
+    {
+        "coalesce_window_seconds",
+        "coalesce_max_batch_queries",
+        "coalesce_max_hold_seconds",
+        "autoscale_max_limit",
+        "autoscale_min_limit",
+        "autoscale_queries_per_slot",
+        "autoscale_scale_down_lag_ticks",
+    }
+)
+
+
+def policies_from_knobs(knobs: Mapping[str, object]) -> Tuple[SchedulingPolicy, ...]:
+    """Build the scheduling-policy tuple a serialized knob dict describes.
+
+    The mapping is *total*: every reachable knob combination maps to a valid
+    policy tuple, and the degenerate values (zero coalescing window, ``None``
+    autoscale limit) map to *no policy at all* rather than a policy in its
+    identity configuration -- so a candidate with all knobs at their neutral
+    values replays byte-identically to a policy-free serve (same summary,
+    same fingerprint, no ``policies`` tag).
+    """
+    unknown = set(knobs) - KNOWN_POLICY_KNOBS
+    if unknown:
+        raise ValueError(
+            f"unknown policy knobs {sorted(unknown)}; known knobs: "
+            f"{sorted(KNOWN_POLICY_KNOBS)}"
+        )
+    policies: list[SchedulingPolicy] = []
+    window = knobs.get("coalesce_window_seconds")
+    if window is not None and float(window) > 0.0:
+        policies.append(
+            BatchCoalescingPolicy(
+                window_seconds=float(window),
+                max_batch_queries=_maybe_int(knobs.get("coalesce_max_batch_queries")),
+                max_hold_seconds=_maybe_float(knobs.get("coalesce_max_hold_seconds")),
+            )
+        )
+    max_limit = knobs.get("autoscale_max_limit")
+    if max_limit is not None:
+        policies.append(
+            QueueDepthAutoscaler(
+                min_limit=int(knobs.get("autoscale_min_limit", 1)),
+                max_limit=int(max_limit),
+                queries_per_slot=int(knobs.get("autoscale_queries_per_slot", 2)),
+                scale_down_lag_ticks=int(knobs.get("autoscale_scale_down_lag_ticks", 0)),
+            )
+        )
+    return tuple(policies)
+
+
+def _maybe_int(value: object) -> Optional[int]:
+    return None if value is None else int(value)  # type: ignore[arg-type]
+
+
+def _maybe_float(value: object) -> Optional[float]:
+    return None if value is None else float(value)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class PolicySetSpec:
+    """A picklable policy-set factory: knob dict in, fresh policies out.
+
+    Policies are stateful across one serve, so campaign policy-set factories
+    must return *fresh* instances per call; this spec re-interprets its knobs
+    on every call.  Knobs are stored as a sorted tuple of pairs so equal
+    specs compare (and hash) equal regardless of construction order.
+    """
+
+    knobs: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        canonical = tuple(sorted(dict(self.knobs).items()))
+        object.__setattr__(self, "knobs", canonical)
+        policies_from_knobs(dict(canonical))  # validate eagerly
+
+    @classmethod
+    def from_knobs(cls, knobs: Mapping[str, object]) -> "PolicySetSpec":
+        return cls(knobs=tuple(knobs.items()))
+
+    @property
+    def knob_dict(self) -> dict:
+        return dict(self.knobs)
+
+    def __call__(self) -> Tuple[SchedulingPolicy, ...]:
+        return policies_from_knobs(self.knob_dict)
+
+
+def compute_scaled_latency(compute_scale: Optional[float]) -> Optional[LatencyModel]:
+    """A latency model with uniformly scaled compute throughputs.
+
+    The benchmark harness's calibration trick (``benchmarks/common.py``
+    delegates here): scaled-down workloads
+    execute orders of magnitude less arithmetic than paper-scale ones, so
+    scaling every platform's modelled per-core throughput by the same factor
+    preserves the compute-to-communication ratio that decides where
+    parallelism pays off.  ``None`` keeps the default model.
+    """
+    if compute_scale is None:
+        return None
+    base = LatencyModel()
+    return replace(
+        base,
+        faas_flops_per_vcpu=base.faas_flops_per_vcpu * compute_scale,
+        vm_flops_per_vcpu=base.vm_flops_per_vcpu * compute_scale,
+        hpc_flops_per_core=base.hpc_flops_per_core * compute_scale,
+        endpoint_flops_per_vcpu=base.endpoint_flops_per_vcpu * compute_scale,
+    )
+
+
+@dataclass(frozen=True)
+class _WorkloadFactorySpec:
+    """Shared :class:`QueryWorkloadFactory` parameters of the backend specs."""
+
+    layers: int = 12
+    nnz_per_row: Optional[int] = None
+    model_seed: int = 7
+    batch_seed: int = 11
+    batch_density: float = 0.25
+    #: uniform compute-throughput scale (``None`` = realistic throughputs).
+    compute_scale: Optional[float] = None
+
+    def _factory(self) -> QueryWorkloadFactory:
+        return QueryWorkloadFactory(
+            layers=self.layers,
+            nnz_per_row=self.nnz_per_row,
+            model_seed=self.model_seed,
+            batch_seed=self.batch_seed,
+            batch_density=self.batch_density,
+        )
+
+    def _cloud(self) -> CloudEnvironment:
+        return CloudEnvironment(latency=compute_scaled_latency(self.compute_scale))
+
+
+@dataclass(frozen=True)
+class FSDBackendSpec(_WorkloadFactorySpec):
+    """Named, picklable factory for :class:`FSDServingBackend`."""
+
+    variant: str = Variant.QUEUE.value
+    workers: int = 4
+    worker_memory_mb: Optional[int] = None
+    memory_overhead_mb: float = 0.0
+    warm_keepalive_seconds: Optional[float] = 900.0
+    partitioner_seed: int = 1
+
+    def __post_init__(self) -> None:
+        Variant(self.variant)  # validate eagerly; raises on unknown variants
+
+    def __call__(self) -> ServingBackend:
+        variant = Variant(self.variant)
+        workers = 1 if variant is Variant.SERIAL else self.workers
+        config = EngineConfig(
+            variant=variant,
+            workers=workers,
+            worker_memory_mb=self.worker_memory_mb,
+            memory_overhead_mb=self.memory_overhead_mb,
+        )
+        return FSDServingBackend(
+            self._cloud(),
+            self._factory(),
+            config_for=lambda neurons: config,
+            partitioner=HypergraphPartitioner(seed=self.partitioner_seed),
+            warm_keepalive_seconds=self.warm_keepalive_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class ServerBackendSpec(_WorkloadFactorySpec):
+    """Named, picklable factory for :class:`ServerServingBackend`."""
+
+    mode: str = ServerMode.JOB_SCOPED.value
+    instance_type: Optional[str] = None
+    always_on_instances: int = 2
+
+    def __post_init__(self) -> None:
+        ServerMode(self.mode)
+
+    def __call__(self) -> ServingBackend:
+        return ServerServingBackend(
+            self._cloud(),
+            ServerMode(self.mode),
+            self._factory(),
+            instance_type=self.instance_type,
+            always_on_instances=self.always_on_instances,
+        )
+
+
+@dataclass(frozen=True)
+class EndpointBackendSpec(_WorkloadFactorySpec):
+    """Named, picklable factory for :class:`EndpointServingBackend`."""
+
+    def __call__(self) -> ServingBackend:
+        return EndpointServingBackend(self._cloud(), self._factory())
+
+
+@dataclass(frozen=True)
+class HPCBackendSpec(_WorkloadFactorySpec):
+    """Named, picklable factory for :class:`HPCServingBackend`."""
+
+    ranks: int = 4
+    partitioner_seed: int = 1
+
+    def __call__(self) -> ServingBackend:
+        return HPCServingBackend(
+            self.ranks,
+            self._factory(),
+            latency=compute_scaled_latency(self.compute_scale),
+            partitioner=HypergraphPartitioner(seed=self.partitioner_seed),
+        )

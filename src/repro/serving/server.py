@@ -141,6 +141,11 @@ class QueryRecord:
     #: all query ids executed in the same merged batch (including this one),
     #: in arrival order; empty when the query executed alone.
     coalesced_group: Tuple[int, ...] = ()
+    #: tenant provenance carried over from :class:`InferenceQuery` -- queries
+    #: from a :class:`~repro.scenarios.MixtureScenario` keep their tenant tag
+    #: through the replay so reports can pivot per tenant.  ``None`` for
+    #: untagged (single-tenant) workloads.
+    tenant: Optional[str] = None
 
     @property
     def was_coalesced(self) -> bool:
@@ -252,6 +257,41 @@ class ServingReport:
             for neurons, records in self.records_by_neurons().items()
         }
 
+    def records_by_tenant(self) -> Dict[Optional[str], List[QueryRecord]]:
+        """Records grouped by tenant provenance (``None`` = untagged)."""
+        grouped: Dict[Optional[str], List[QueryRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.tenant, []).append(record)
+        return grouped
+
+    def by_tenant(self) -> Dict[Optional[str], Dict[str, object]]:
+        """Per-tenant pivot: cost, p50/p95 latency and cold-start fraction.
+
+        Mixture scenarios interleave several tenants' arrivals on one
+        timeline; this recovers each tenant's aggregate view so per-tenant
+        SLOs can be checked against one shared replay.  Untagged queries are
+        grouped under ``None``.  Latency percentiles are ``None`` (not a fake
+        ``0.0``) when a tenant somehow has no records, mirroring
+        :meth:`latency_percentile`.
+        """
+        pivot: Dict[Optional[str], Dict[str, object]] = {}
+        for tenant, records in self.records_by_tenant().items():
+            latencies = np.asarray([record.latency_seconds for record in records])
+            cold = sum(record.cold_starts for record in records)
+            warm = sum(record.warm_starts for record in records)
+            starts = cold + warm
+            pivot[tenant] = {
+                "num_queries": len(records),
+                "total_samples": sum(record.samples for record in records),
+                "cost_total": sum(record.cost for record in records),
+                "p50_latency_seconds": float(np.percentile(latencies, 50.0)) if records else None,
+                "p95_latency_seconds": float(np.percentile(latencies, 95.0)) if records else None,
+                "cold_start_count": cold,
+                "warm_start_count": warm,
+                "cold_start_fraction": (cold / starts) if starts else None,
+            }
+        return pivot
+
     def summary(self) -> Dict[str, object]:
         """Flat, JSON-friendly aggregate view (benchmark fingerprints).
 
@@ -283,6 +323,15 @@ class ServingReport:
             summary["policies"] = [policy.describe() for policy in self.config.policies]
             summary["coalesced_query_count"] = self.coalesced_query_count
             summary["execution_count"] = self.execution_count
+        # Tenant pivot only when the workload actually carries tenant tags, so
+        # untagged workloads keep their historical fingerprints bit-for-bit.
+        if any(record.tenant is not None for record in self.records):
+            summary["tenants"] = {
+                tenant if tenant is not None else "untagged": view
+                for tenant, view in sorted(
+                    self.by_tenant().items(), key=lambda item: (item[0] is None, item[0] or "")
+                )
+            }
         return summary
 
 
@@ -353,6 +402,7 @@ class InferenceServer:
                             cold_starts=outcome.cold_starts,
                             warm_starts=outcome.warm_starts,
                             coalesced_group=group,
+                            tenant=query.tenant,
                         )
                     )
                 in_flight += 1

@@ -205,3 +205,76 @@ class TestCampaignReportViews:
             "p95_latency_seconds": {},
             "cold_start_fraction": {},
         }
+
+
+def _spec_campaign():
+    """A fully picklable campaign (named top-level factories, no closures)."""
+    from repro import FSDBackendSpec, HPCBackendSpec, PolicySetSpec
+
+    shared = dict(daily_samples=24, batch_size=4, neuron_counts=(64,), horizon_seconds=600.0)
+    scenarios = [
+        Scenario("poisson", PoissonProcess(), seed=3, **shared),
+        Scenario("diurnal", DiurnalProcess(), seed=4, **shared),
+    ]
+    backends = {
+        "fsd": FSDBackendSpec(variant="serial", layers=2, nnz_per_row=4),
+        "hpc-1": HPCBackendSpec(ranks=1, layers=2, nnz_per_row=4),
+    }
+    policy_sets = {
+        "none": PolicySetSpec(),
+        "coalesce": PolicySetSpec.from_knobs({"coalesce_window_seconds": 120.0}),
+    }
+    return Campaign(scenarios, backends, policy_sets=policy_sets)
+
+
+class TestCampaignExecutors:
+    def test_process_pool_equals_thread_equals_serial(self):
+        """Cell dispatch is picklable with named factories: the same grid
+        replayed serially, on threads and on processes yields one report."""
+        campaign = _spec_campaign()
+        serial = campaign.run(max_workers=1)
+        threaded = campaign.run(max_workers=4, executor="thread")
+        processed = campaign.run(max_workers=4, executor="process")
+        assert [c.cell for c in serial.cells] == [c.cell for c in processed.cells]
+        assert (
+            [c.summary for c in serial.cells]
+            == [c.summary for c in threaded.cells]
+            == [c.summary for c in processed.cells]
+        )
+        assert [c.fingerprint for c in serial.cells] == [
+            c.fingerprint for c in processed.cells
+        ]
+
+    def test_campaign_dispatch_is_picklable(self):
+        import pickle
+
+        campaign = _spec_campaign()
+        clone = pickle.loads(pickle.dumps(campaign.run_cell.__self__))
+        assert clone.cells() == campaign.cells()
+
+    def test_unknown_executor_rejected(self):
+        campaign = _spec_campaign()
+        with pytest.raises(ValueError, match="unknown executor"):
+            campaign.run(executor="fiber")
+
+    def test_explicit_cell_list_restricts_the_grid(self):
+        campaign = _spec_campaign()
+        cells = [
+            CampaignCell("poisson", "fsd", "none"),
+            CampaignCell("diurnal", "hpc-1", "coalesce"),
+        ]
+        report = campaign.run(max_workers=1, cells=cells)
+        assert [c.cell for c in report.cells] == cells
+        full = campaign.run(max_workers=1)
+        assert report.cell("poisson", "fsd", "none").summary == full.cell(
+            "poisson", "fsd", "none"
+        ).summary
+
+    def test_explicit_cells_validate_names(self):
+        campaign = _spec_campaign()
+        with pytest.raises(KeyError):
+            campaign.run(cells=[CampaignCell("nope", "fsd", "none")])
+        with pytest.raises(KeyError):
+            campaign.run(cells=[CampaignCell("poisson", "nope", "none")])
+        with pytest.raises(KeyError):
+            campaign.run(cells=[CampaignCell("poisson", "fsd", "nope")])

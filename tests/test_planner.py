@@ -1,0 +1,602 @@
+"""Tests for the SLO-constrained deployment planner.
+
+Locks the planner contracts:
+
+1. **Knob vocabulary.** ``policies_from_knobs`` maps serialized knob dicts
+   onto policy tuples, with neutral values (zero window, ``None`` autoscale
+   limit) mapping to *no policy* so an all-neutral candidate replays
+   byte-identically to a policy-free serve.
+2. **Search space.** The declarative grid enumerates backend x knob
+   combinations; successive-halving refinement bisects numeric knob
+   intervals around the incumbent and terminates.
+3. **Analytic scoring.** The affine probe fit and the candidate estimator
+   are monotone in the coalescing knobs (bigger windows amortise fixed
+   charges but add hold latency).
+4. **Pareto.** No returned frontier point is dominated -- property-style,
+   both for the pure helper and for the planner's simulated frontier.
+5. **End-to-end planning.** Finalists are replayed, verdicts respect the
+   SLO (including per-tenant overrides on mixtures), the winner is the
+   cheapest compliant frontier point, and a planner-evaluated policy-free
+   candidate is bit-identical to a direct ``InferenceServer`` serve.
+6. **Determinism.** Same seed + same search space => identical
+   ``PlanReport`` (fingerprints, Pareto ordering, winner) across runs and
+   across thread/process executors.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchCoalescingPolicy,
+    DeploymentPlanner,
+    EndpointBackendSpec,
+    EndpointServingBackend,
+    FSDBackendSpec,
+    FSDServingBackend,
+    HPCBackendSpec,
+    HPCServingBackend,
+    InferenceServer,
+    MixtureScenario,
+    PlanCandidate,
+    PoissonProcess,
+    PolicySetSpec,
+    QueryCostModel,
+    QueueDepthAutoscaler,
+    Scenario,
+    SearchSpace,
+    ServerBackendSpec,
+    ServerServingBackend,
+    ServingConfig,
+    SizeStats,
+    SLOSpec,
+    WorkloadStats,
+    calibrate_backend,
+    estimate_candidate,
+    estimate_cold_fraction,
+    policies_from_knobs,
+)
+from repro.planner import pareto_indices
+
+TINY = dict(layers=2, nnz_per_row=4)
+
+
+def tiny_fsd_spec() -> FSDBackendSpec:
+    return FSDBackendSpec(variant="serial", **TINY)
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(
+        "poisson",
+        PoissonProcess(),
+        seed=3,
+        daily_samples=24,
+        batch_size=4,
+        neuron_counts=(64,),
+        horizon_seconds=600.0,
+    )
+
+
+@pytest.fixture
+def search_space():
+    return SearchSpace(
+        backends={"fsd-serial": tiny_fsd_spec(), "server-job": ServerBackendSpec(**TINY)},
+        knobs={"coalesce_window_seconds": (0.0, 60.0, 240.0)},
+    )
+
+
+class TestPoliciesFromKnobs:
+    def test_neutral_knobs_build_no_policies(self):
+        assert policies_from_knobs({}) == ()
+        assert policies_from_knobs({"coalesce_window_seconds": 0.0}) == ()
+        assert policies_from_knobs({"autoscale_max_limit": None}) == ()
+        assert (
+            policies_from_knobs({"coalesce_window_seconds": 0.0, "autoscale_max_limit": None})
+            == ()
+        )
+
+    def test_coalescing_knobs(self):
+        (policy,) = policies_from_knobs(
+            {
+                "coalesce_window_seconds": 120.0,
+                "coalesce_max_batch_queries": 3,
+                "coalesce_max_hold_seconds": 60.0,
+            }
+        )
+        assert isinstance(policy, BatchCoalescingPolicy)
+        assert policy.window_seconds == 120.0
+        assert policy.max_batch_queries == 3
+        assert policy.max_hold_seconds == 60.0
+
+    def test_autoscaler_knobs(self):
+        (policy,) = policies_from_knobs(
+            {
+                "autoscale_max_limit": 6,
+                "autoscale_min_limit": 2,
+                "autoscale_queries_per_slot": 3,
+                "autoscale_scale_down_lag_ticks": 1,
+            }
+        )
+        assert isinstance(policy, QueueDepthAutoscaler)
+        assert (policy.min_limit, policy.max_limit) == (2, 6)
+        assert (policy.queries_per_slot, policy.scale_down_lag_ticks) == (3, 1)
+
+    def test_both_policies_ordered_coalesce_first(self):
+        policies = policies_from_knobs(
+            {"coalesce_window_seconds": 60.0, "autoscale_max_limit": 4}
+        )
+        assert [type(p) for p in policies] == [BatchCoalescingPolicy, QueueDepthAutoscaler]
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy knobs"):
+            policies_from_knobs({"no_such_knob": 1})
+
+    def test_policy_set_spec_fresh_instances_and_pickling(self):
+        spec = PolicySetSpec.from_knobs({"coalesce_window_seconds": 30.0})
+        first, second = spec(), spec()
+        assert first[0] is not second[0]  # policies are stateful: fresh per call
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone().__class__ is tuple
+        # knob order does not matter for identity
+        assert spec == PolicySetSpec(knobs=(("coalesce_window_seconds", 30.0),))
+        with pytest.raises(ValueError):
+            PolicySetSpec.from_knobs({"bogus": 1})
+
+
+class TestBackendSpecs:
+    def test_specs_build_their_backends(self):
+        assert isinstance(tiny_fsd_spec()(), FSDServingBackend)
+        assert isinstance(ServerBackendSpec(**TINY)(), ServerServingBackend)
+        assert isinstance(EndpointBackendSpec(**TINY)(), EndpointServingBackend)
+        assert isinstance(HPCBackendSpec(ranks=1, **TINY)(), HPCServingBackend)
+
+    def test_serial_variant_coerces_single_worker(self):
+        backend = FSDBackendSpec(variant="serial", workers=8, **TINY)()
+        assert backend._config_for(64).workers == 1
+
+    def test_invalid_spec_values_rejected(self):
+        with pytest.raises(ValueError):
+            FSDBackendSpec(variant="no-such-variant")
+        with pytest.raises(ValueError):
+            ServerBackendSpec(mode="no-such-mode")
+
+    def test_specs_are_picklable(self):
+        for spec in (
+            tiny_fsd_spec(),
+            ServerBackendSpec(**TINY),
+            EndpointBackendSpec(**TINY),
+            HPCBackendSpec(ranks=2, **TINY),
+        ):
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_each_call_owns_a_private_cloud(self):
+        spec = tiny_fsd_spec()
+        assert spec().cloud is not spec().cloud
+
+
+class TestSearchSpace:
+    def test_grid_enumeration(self, search_space):
+        candidates = search_space.candidates()
+        assert len(candidates) == 6  # 2 backends x 3 window values
+        assert len({c.label for c in candidates}) == 6
+        backends = {c.backend for c in candidates}
+        assert backends == {"fsd-serial", "server-job"}
+
+    def test_knob_grids_deduplicate(self):
+        space = SearchSpace(
+            backends={"fsd": tiny_fsd_spec()},
+            knobs={"coalesce_window_seconds": (0.0, 60.0, 0.0)},
+        )
+        assert len(space.candidates()) == 2
+
+    def test_invalid_spaces_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(backends={})
+        with pytest.raises(ValueError):
+            SearchSpace(backends={"fsd": tiny_fsd_spec()}, knobs={"bogus": (1,)})
+        with pytest.raises(ValueError):
+            SearchSpace(backends={"fsd": tiny_fsd_spec()}, knobs={"coalesce_window_seconds": ()})
+
+    def test_refinement_bisects_numeric_intervals(self, search_space):
+        explored = search_space.candidates()
+        incumbent = next(
+            c
+            for c in explored
+            if c.backend == "fsd-serial" and c.knob_dict["coalesce_window_seconds"] == 60.0
+        )
+        proposals = search_space.refine_around(incumbent, explored)
+        values = sorted(c.knob_dict["coalesce_window_seconds"] for c in proposals)
+        assert values == [30.0, 150.0]  # midpoints of (0, 60) and (60, 240)
+        assert all(c.backend == "fsd-serial" for c in proposals)
+
+    def test_refinement_never_reproposes_explored_points(self, search_space):
+        explored = set(search_space.candidates())
+        incumbent = next(iter(explored))
+        for _ in range(6):  # drive refinement to exhaustion on integer knobs
+            proposals = search_space.refine_around(incumbent, explored)
+            assert not (set(proposals) & explored)
+            explored.update(proposals)
+
+    def test_integer_knob_refinement_terminates(self):
+        space = SearchSpace(
+            backends={"fsd": tiny_fsd_spec()},
+            knobs={"autoscale_max_limit": (2, 4)},
+        )
+        explored = set(space.candidates())
+        incumbent = next(c for c in explored if c.knob_dict["autoscale_max_limit"] == 4)
+        first = space.refine_around(incumbent, explored)
+        assert [c.knob_dict["autoscale_max_limit"] for c in first] == [3]
+        explored.update(first)
+        assert space.refine_around(first[0], explored) == []  # bracket collapsed
+
+    def test_non_numeric_knobs_are_not_refined(self):
+        space = SearchSpace(
+            backends={"fsd": tiny_fsd_spec()},
+            knobs={"autoscale_max_limit": (None, 4)},
+        )
+        incumbent = next(
+            c for c in space.candidates() if c.knob_dict["autoscale_max_limit"] is None
+        )
+        assert space.refine_around(incumbent, space.candidates()) == []
+
+
+class TestPlanCandidate:
+    def test_canonical_knob_order_and_label(self):
+        a = PlanCandidate("fsd", (("coalesce_window_seconds", 60.0), ("autoscale_max_limit", 4)))
+        b = PlanCandidate("fsd", (("autoscale_max_limit", 4), ("coalesce_window_seconds", 60.0)))
+        assert a == b and hash(a) == hash(b)
+        assert a.label == "fsd[autoscale_max_limit=4,coalesce_window_seconds=60]"
+        assert PlanCandidate("fsd").label == "fsd"
+
+    def test_invalid_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCandidate("")
+        with pytest.raises(ValueError):
+            PlanCandidate("fsd", (("bogus", 1),))
+
+
+class TestAnalyticScoring:
+    def test_affine_fit_recovers_fixed_and_marginal(self):
+        model = QueryCostModel.from_probes(
+            small=(4, 0.01 + 4 * 0.002, 1.0 + 4 * 0.25),
+            large=(8, 0.01 + 8 * 0.002, 1.0 + 8 * 0.25),
+        )
+        assert model.fixed_cost == pytest.approx(0.01)
+        assert model.cost_per_sample == pytest.approx(0.002)
+        assert model.base_latency_seconds == pytest.approx(1.0)
+        assert model.latency_per_sample == pytest.approx(0.25)
+
+    def test_fit_clamps_negative_slopes(self):
+        model = QueryCostModel.from_probes(small=(4, 0.01, 2.0), large=(8, 0.005, 1.0))
+        assert model.cost_per_sample == 0.0
+        assert model.latency_per_sample == 0.0
+        with pytest.raises(ValueError):
+            QueryCostModel.from_probes(small=(8, 0.0, 0.0), large=(4, 0.0, 0.0))
+
+    def test_workload_stats_from_workload(self, scenario):
+        stats = WorkloadStats.from_workload(scenario.build())
+        assert [size.neurons for size in stats.sizes] == [64]
+        assert stats.total_queries == 6
+        assert stats.horizon_seconds == 600.0
+
+    def test_coalescing_amortises_fixed_charges_and_adds_hold(self):
+        stats = WorkloadStats(
+            horizon_seconds=3600.0, sizes=(SizeStats(neurons=64, queries=60, mean_samples=4.0),)
+        )
+        model = QueryCostModel(
+            fixed_cost=0.01, cost_per_sample=0.001,
+            base_latency_seconds=1.0, latency_per_sample=0.1,
+        )
+        plain = estimate_candidate(stats, {64: model})
+        merged = estimate_candidate(stats, {64: model}, coalesce_window_seconds=300.0)
+        assert merged.total_cost < plain.total_cost  # fixed charges paid once per batch
+        assert merged.p95_latency_seconds > plain.p95_latency_seconds  # leader waits
+        assert merged.expected_executions < plain.expected_executions
+        # marginal (per-sample) charges never amortise
+        marginal = stats.sizes[0].queries * stats.sizes[0].mean_samples * model.cost_per_sample
+        assert merged.total_cost >= marginal
+
+    def test_hold_cap_and_batch_cap_bound_the_estimate(self):
+        stats = WorkloadStats(
+            horizon_seconds=3600.0, sizes=(SizeStats(neurons=64, queries=60, mean_samples=4.0),)
+        )
+        model = QueryCostModel(0.01, 0.001, 1.0, 0.1)
+        uncapped = estimate_candidate(stats, {64: model}, coalesce_window_seconds=300.0)
+        capped_hold = estimate_candidate(
+            stats, {64: model}, coalesce_window_seconds=300.0, coalesce_max_hold_seconds=60.0
+        )
+        assert capped_hold.p95_latency_seconds < uncapped.p95_latency_seconds
+        capped_batch = estimate_candidate(
+            stats, {64: model}, coalesce_window_seconds=300.0, coalesce_max_batch_queries=2
+        )
+        assert capped_batch.expected_executions > uncapped.expected_executions
+
+    def test_standing_cost_and_cold_penalty(self):
+        stats = WorkloadStats(
+            horizon_seconds=3600.0, sizes=(SizeStats(neurons=64, queries=10, mean_samples=4.0),)
+        )
+        model = QueryCostModel(0.01, 0.001, 1.0, 0.1, cold_penalty_seconds=5.0)
+        base = estimate_candidate(stats, {64: model})
+        standing = estimate_candidate(stats, {64: model}, standing_cost=1.0)
+        assert standing.total_cost == pytest.approx(base.total_cost + 1.0)
+        cold = estimate_candidate(stats, {64: model}, cold_fraction=0.5)
+        assert cold.p95_latency_seconds == pytest.approx(base.p95_latency_seconds + 5.0)
+        warm = estimate_candidate(stats, {64: model}, cold_fraction=0.01)
+        assert warm.p95_latency_seconds == pytest.approx(base.p95_latency_seconds)
+
+
+class TestCalibration:
+    def test_calibration_fits_per_size_models(self, scenario):
+        stats = WorkloadStats.from_workload(scenario.build())
+        calibration = calibrate_backend("fsd", tiny_fsd_spec(), stats)
+        assert set(calibration.models) == {64}
+        model = calibration.models[64]
+        assert model.execution_cost(4.0) > 0.0
+        assert model.execution_latency(4.0) > 0.0
+        assert calibration.standing_cost == 0.0  # pay-per-use substrate
+
+    def test_calibration_is_deterministic(self, scenario):
+        stats = WorkloadStats.from_workload(scenario.build())
+        first = calibrate_backend("fsd", tiny_fsd_spec(), stats)
+        second = calibrate_backend("fsd", tiny_fsd_spec(), stats)
+        assert first.models == second.models
+        assert first.standing_cost == second.standing_cost
+
+    def test_always_on_standing_cost_is_positive(self, scenario):
+        stats = WorkloadStats.from_workload(scenario.build())
+        calibration = calibrate_backend(
+            "always-on", ServerBackendSpec(mode="always_on_hot", **TINY), stats
+        )
+        assert calibration.standing_cost > 0.0
+
+    def test_cold_fraction_estimate(self, scenario):
+        workload = scenario.build()
+        assert estimate_cold_fraction(workload, None) == 0.0
+        # A keepalive longer than the horizon leaves only the per-size first
+        # arrivals cold.
+        assert estimate_cold_fraction(workload, 10 * workload.horizon_seconds) == pytest.approx(
+            1.0 / workload.num_queries
+        )
+        # A zero keepalive makes every positive gap a cold start.
+        assert estimate_cold_fraction(workload, 0.0) == 1.0
+
+
+class TestPareto:
+    def test_no_kept_point_dominated_property(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            points = [tuple(p) for p in rng.uniform(0.0, 1.0, size=(30, 2))]
+            kept = pareto_indices(points)
+            assert kept, "a non-empty cloud always has a frontier"
+            for i in kept:
+                for j in range(len(points)):
+                    if i == j:
+                        continue
+                    dominates = (
+                        points[j][0] <= points[i][0]
+                        and points[j][1] <= points[i][1]
+                        and points[j] != points[i]
+                    )
+                    assert not dominates, f"kept point {i} dominated by {j}"
+            # every dropped point is dominated by some kept point
+            for j in set(range(len(points))) - set(kept):
+                assert any(
+                    points[i][0] <= points[j][0] and points[i][1] <= points[j][1]
+                    for i in kept
+                )
+
+    def test_ties_survive_together(self):
+        assert pareto_indices([(1.0, 1.0), (1.0, 1.0)]) == [0, 1]
+
+
+class TestSLOSpec:
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError):
+            SLOSpec()
+        with pytest.raises(ValueError):
+            SLOSpec(p95_latency_seconds=-1.0)
+
+    def test_latency_and_budget_verdicts(self):
+        slo = SLOSpec(p95_latency_seconds=10.0, daily_budget=1.0)
+        horizon = 43200.0  # half a day: daily cost doubles the horizon cost
+        good = {"p95_latency_seconds": 5.0, "cost_total": 0.4}
+        assert slo.evaluate(good, horizon).compliant
+        slow = {"p95_latency_seconds": 20.0, "cost_total": 0.4}
+        verdict = slo.evaluate(slow, horizon)
+        assert not verdict.compliant and "p95" in verdict.violations[0]
+        pricey = {"p95_latency_seconds": 5.0, "cost_total": 0.6}
+        verdict = slo.evaluate(pricey, horizon)
+        assert not verdict.compliant and "budget" in verdict.violations[0]
+
+    def test_empty_replay_latencies_pass(self):
+        slo = SLOSpec(p95_latency_seconds=10.0, p99_latency_seconds=20.0)
+        assert slo.evaluate(
+            {"p95_latency_seconds": None, "p99_latency_seconds": None, "cost_total": 0.0},
+            86400.0,
+        ).compliant
+
+    def test_per_tenant_overrides(self):
+        slo = SLOSpec(per_tenant_p95={"web": 1.0})
+        summary = {
+            "p95_latency_seconds": 5.0,
+            "cost_total": 0.0,
+            "tenants": {"web": {"p95_latency_seconds": 0.5}},
+        }
+        assert slo.evaluate(summary, 86400.0).compliant
+        summary["tenants"]["web"]["p95_latency_seconds"] = 2.0
+        assert not slo.evaluate(summary, 86400.0).compliant
+        # an override naming an absent tenant cannot be witnessed => violation
+        verdict = slo.evaluate({"p95_latency_seconds": 5.0, "cost_total": 0.0}, 86400.0)
+        assert not verdict.compliant and "no queries" in verdict.violations[0]
+
+
+class TestDeploymentPlanner:
+    def test_end_to_end_plan(self, scenario, search_space):
+        planner = DeploymentPlanner(search_space, SLOSpec(p95_latency_seconds=120.0))
+        report = planner.plan(scenario)
+        assert report.frontier_labels, "a feasible space yields a non-empty frontier"
+        assert report.winner is not None
+        assert report.winner.slo.compliant
+        assert report.winner.simulated_p95 <= 120.0
+        # only finalists were replayed; pruned candidates carry no summary
+        for result in report.candidates:
+            if result.finalist:
+                assert result.summary is not None and result.slo is not None
+                assert result.fingerprint is not None
+            else:
+                assert result.summary is None and result.fingerprint is None
+        assert len(report.finalists) <= len(report.candidates)
+        # the winner is the cheapest compliant frontier configuration
+        compliant = [r for r in report.frontier if r.slo.compliant]
+        assert report.winner.simulated_cost == min(r.simulated_cost for r in compliant)
+        # rendering works and includes the winner marker
+        assert "winner" in report.render_markdown()
+        assert report.to_dict()["winner"] == report.winner_label
+
+    def test_frontier_has_no_dominated_point(self, scenario, search_space):
+        """Property: no returned frontier point is dominated by any finalist."""
+        planner = DeploymentPlanner(search_space, SLOSpec(p95_latency_seconds=120.0))
+        report = planner.plan(scenario)
+        evaluated = [r for r in report.finalists if r.summary is not None]
+        for point in report.frontier:
+            for other in evaluated:
+                if other.label == point.label:
+                    continue
+                dominates = (
+                    other.simulated_cost <= point.simulated_cost
+                    and (other.simulated_p95 or 0.0) <= (point.simulated_p95 or 0.0)
+                    and (
+                        other.simulated_cost < point.simulated_cost
+                        or (other.simulated_p95 or 0.0) < (point.simulated_p95 or 0.0)
+                    )
+                )
+                assert not dominates, f"frontier point {point.label} dominated by {other.label}"
+
+    def test_policy_free_candidate_matches_direct_serve(self, scenario):
+        """A planner-evaluated no-policy candidate is exactly an InferenceServer
+        serve of the same scenario on the same backend -- no planner drift."""
+        space = SearchSpace(
+            backends={"fsd-serial": tiny_fsd_spec()},
+            knobs={"coalesce_window_seconds": (0.0, 120.0)},
+        )
+        planner = DeploymentPlanner(space, SLOSpec(p95_latency_seconds=600.0), refine_rounds=0)
+        report = planner.plan(scenario)
+        plain = next(
+            r
+            for r in report.finalists
+            if r.candidate.knob_dict["coalesce_window_seconds"] == 0.0
+        )
+        direct = InferenceServer(tiny_fsd_spec()(), ServingConfig()).serve(scenario.build())
+        assert plain.summary == direct.summary()
+        assert "policies" not in plain.summary
+
+    def test_plan_is_deterministic_across_runs(self, scenario, search_space):
+        planner = DeploymentPlanner(search_space, SLOSpec(p95_latency_seconds=120.0))
+        first = planner.plan(scenario)
+        second = planner.plan(scenario)
+        assert first.frontier_labels == second.frontier_labels
+        assert first.winner_label == second.winner_label
+        assert [r.fingerprint for r in first.finalists] == [
+            r.fingerprint for r in second.finalists
+        ]
+        assert [r.analytic for r in first.candidates] == [r.analytic for r in second.candidates]
+
+    def test_plan_identical_across_thread_and_process_executors(self, scenario, search_space):
+        slo = SLOSpec(p95_latency_seconds=120.0)
+        threaded = DeploymentPlanner(search_space, slo, executor="thread").plan(scenario)
+        processed = DeploymentPlanner(search_space, slo, executor="process").plan(scenario)
+        assert threaded.frontier_labels == processed.frontier_labels
+        assert threaded.winner_label == processed.winner_label
+        assert [r.fingerprint for r in threaded.finalists] == [
+            r.fingerprint for r in processed.finalists
+        ]
+        assert [r.summary for r in threaded.finalists] == [
+            r.summary for r in processed.finalists
+        ]
+
+    def test_unsatisfiable_budget_yields_no_winner(self, scenario):
+        space = SearchSpace(backends={"fsd-serial": tiny_fsd_spec()})
+        planner = DeploymentPlanner(space, SLOSpec(daily_budget=1e-12))
+        report = planner.plan(scenario)
+        assert report.winner is None
+        assert report.frontier_labels  # the frontier is still reported
+
+    def test_per_tenant_slo_on_mixture(self):
+        shared = dict(daily_samples=16, batch_size=4, neuron_counts=(64,), horizon_seconds=600.0)
+        mixture = MixtureScenario(
+            "mix",
+            (
+                Scenario("web", PoissonProcess(), seed=5, **shared),
+                Scenario("batch", PoissonProcess(), seed=6, **shared),
+            ),
+        )
+        space = SearchSpace(backends={"fsd-serial": tiny_fsd_spec()})
+        generous = DeploymentPlanner(
+            space, SLOSpec(per_tenant_p95={"web": 600.0, "batch": 600.0})
+        ).plan(mixture)
+        assert generous.winner is not None
+        assert set(generous.winner.summary["tenants"]) == {"web", "batch"}
+        strict = DeploymentPlanner(space, SLOSpec(per_tenant_p95={"web": 1e-9})).plan(mixture)
+        assert strict.winner is None
+        verdict = strict.finalists[0].slo
+        assert any("'web'" in violation for violation in verdict.violations)
+
+    def test_unknown_tenant_override_rejected(self):
+        shared = dict(daily_samples=8, batch_size=4, neuron_counts=(64,), horizon_seconds=600.0)
+        mixture = MixtureScenario("mix", (Scenario("web", PoissonProcess(), seed=5, **shared),))
+        space = SearchSpace(backends={"fsd-serial": tiny_fsd_spec()})
+        planner = DeploymentPlanner(space, SLOSpec(per_tenant_p95={"nope": 1.0}))
+        with pytest.raises(ValueError, match="nope"):
+            planner.plan(mixture)
+
+    def test_tenant_override_on_untagged_scenario_rejected(self, scenario):
+        """An untagged scenario can never satisfy a per-tenant override, so
+        the planner fails upfront instead of replaying to a winnerless report."""
+        space = SearchSpace(backends={"fsd-serial": tiny_fsd_spec()})
+        planner = DeploymentPlanner(space, SLOSpec(per_tenant_p95={"web": 5.0}))
+        with pytest.raises(ValueError, match="web"):
+            planner.plan(scenario)
+
+    def test_replay_identical_finalists_share_one_serve(self, scenario):
+        """Candidates whose knobs construct the same policy tuple (here: two
+        neutral variants) replay once and share the summary, but keep
+        distinct identities and fingerprints."""
+        space = SearchSpace(
+            backends={"fsd-serial": tiny_fsd_spec()},
+            knobs={
+                "coalesce_window_seconds": (0.0,),
+                "coalesce_max_hold_seconds": (None, 900.0),
+            },
+        )
+        planner = DeploymentPlanner(space, SLOSpec(p95_latency_seconds=600.0), refine_rounds=0)
+        report = planner.plan(scenario)
+        neutral = [r for r in report.finalists if r.summary is not None]
+        assert len(neutral) == 2
+        assert neutral[0].summary == neutral[1].summary
+        assert neutral[0].fingerprint != neutral[1].fingerprint  # knobs differ
+
+    def test_invalid_planner_configuration(self, search_space):
+        with pytest.raises(ValueError):
+            DeploymentPlanner(search_space, SLOSpec(p95_latency_seconds=1.0), refine_rounds=-1)
+        with pytest.raises(ValueError):
+            DeploymentPlanner(search_space, SLOSpec(p95_latency_seconds=1.0), max_finalists=0)
+        with pytest.raises(ValueError, match="unknown executor"):
+            DeploymentPlanner(search_space, SLOSpec(p95_latency_seconds=1.0), executor="fiber")
+
+    def test_refinement_explores_beyond_the_grid(self, scenario):
+        space = SearchSpace(
+            backends={"fsd-serial": tiny_fsd_spec()},
+            knobs={"coalesce_window_seconds": (0.0, 240.0)},
+        )
+        slo = SLOSpec(p95_latency_seconds=120.0)
+        coarse = DeploymentPlanner(space, slo, refine_rounds=0).plan(scenario)
+        refined = DeploymentPlanner(space, slo, refine_rounds=2).plan(scenario)
+        assert len(refined.candidates) > len(coarse.candidates)
+        grid_values = {0.0, 240.0}
+        explored = {
+            r.candidate.knob_dict["coalesce_window_seconds"] for r in refined.candidates
+        }
+        assert explored - grid_values, "refinement proposed off-grid windows"

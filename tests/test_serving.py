@@ -550,3 +550,87 @@ class TestServerBackendColdWarmDerivation:
         cold = run_server_query(cloud, small_model, small_batch, ServerMode.ALWAYS_ON_COLD)
         assert job.provisioned
         assert not cold.provisioned
+
+
+class TestPerTenantReporting:
+    """Tenant provenance survives the replay and pivots per tenant."""
+
+    def _mixture_workload(self):
+        from repro import MixtureScenario, PoissonProcess, Scenario
+
+        shared = dict(
+            daily_samples=16, batch_size=4, neuron_counts=(64,), horizon_seconds=600.0
+        )
+        return MixtureScenario(
+            "mix",
+            (
+                Scenario("web", PoissonProcess(), seed=5, **shared),
+                Scenario("batch", PoissonProcess(), seed=6, **shared),
+            ),
+        ).build()
+
+    def test_untagged_workload_summary_has_no_tenants_key(self, tiny_model):
+        workload = generate_sporadic_workload(
+            daily_samples=16, batch_size=4, neuron_counts=(64,), seed=3
+        )
+        report = InferenceServer(
+            _serial_backend(CloudEnvironment(), tiny_model)
+        ).serve(workload)
+        assert "tenants" not in report.summary()
+        assert all(record.tenant is None for record in report.records)
+        assert set(report.by_tenant()) == {None}
+
+    def test_tenant_tags_survive_replay(self, tiny_model):
+        workload = self._mixture_workload()
+        report = InferenceServer(
+            _serial_backend(CloudEnvironment(), tiny_model)
+        ).serve(workload)
+        expected = {t: len(qs) for t, qs in workload.queries_by_tenant().items()}
+        got = {t: len(rs) for t, rs in report.records_by_tenant().items()}
+        assert got == expected
+
+    def test_by_tenant_pivot_is_consistent_with_aggregates(self, tiny_model):
+        workload = self._mixture_workload()
+        report = InferenceServer(
+            _serial_backend(CloudEnvironment(), tiny_model)
+        ).serve(workload)
+        pivot = report.by_tenant()
+        assert set(pivot) == {"web", "batch"}
+        assert sum(view["num_queries"] for view in pivot.values()) == report.num_queries
+        assert sum(view["cost_total"] for view in pivot.values()) == pytest.approx(
+            sum(record.cost for record in report.records)
+        )
+        assert (
+            sum(view["cold_start_count"] for view in pivot.values())
+            == report.cold_start_count
+        )
+        for view in pivot.values():
+            assert view["p50_latency_seconds"] <= view["p95_latency_seconds"]
+            assert 0.0 <= view["cold_start_fraction"] <= 1.0
+
+    def test_summary_tenants_key_matches_pivot(self, tiny_model):
+        workload = self._mixture_workload()
+        report = InferenceServer(
+            _serial_backend(CloudEnvironment(), tiny_model)
+        ).serve(workload)
+        summary = report.summary()
+        assert set(summary["tenants"]) == {"web", "batch"}
+        assert summary["tenants"]["web"] == report.by_tenant()["web"]
+        # the tenants key is JSON-serialisable (fingerprint payload)
+        import json
+
+        json.dumps(summary, sort_keys=True)
+
+    def test_tenants_survive_coalesced_batches(self, tiny_model):
+        from repro import BatchCoalescingPolicy
+
+        workload = self._mixture_workload()
+        report = InferenceServer(
+            _serial_backend(CloudEnvironment(), tiny_model),
+            ServingConfig(policies=(BatchCoalescingPolicy(window_seconds=600.0),)),
+        ).serve(workload)
+        assert report.coalesced_query_count > 0
+        merged = [record for record in report.records if record.was_coalesced]
+        by_id = {query.query_id: query for query in workload.queries}
+        for record in merged:
+            assert record.tenant == by_id[record.query_id].tenant
