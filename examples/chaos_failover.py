@@ -1,0 +1,142 @@
+"""Chaos failover study: serverless FSD vs an always-on server under a storm.
+
+The chaos layer injects a deterministic fault storm -- a four-hour FaaS
+preemption window (think spot reclamation or a noisy-neighbour eviction
+wave), Poisson transient queue faults and a mid-day redeploy that flushes
+every warm pool -- and the serving loop degrades *gracefully*: queries retry
+with seeded jittered backoff, blow their deadline and get shed, or fail with
+a structured reason, but the loop never crashes.
+
+The failover story is architectural: the storm targets the serverless
+substrate (FaaS invocations, queue traffic), so the FSD backend rides
+through it on retries and loses some availability, while the always-on
+server backend never touches FaaS or queues -- it sails through the same
+storm untouched, but pays for its VM around the clock.  Neither backend
+dominates: the storm prices serverless availability against always-on
+idle cost.
+
+Run with::
+
+    PYTHONPATH=src python examples/chaos_failover.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Campaign,
+    ChaosConfig,
+    CloudEnvironment,
+    ColdStartStorm,
+    EngineConfig,
+    FaultPlan,
+    FSDServingBackend,
+    GraphChallengeConfig,
+    PoissonFaultProcess,
+    PoissonProcess,
+    PreemptionWindows,
+    QueryWorkloadFactory,
+    RetryPolicy,
+    Scenario,
+    ServerMode,
+    ServerServingBackend,
+    Variant,
+    build_graph_challenge_model,
+)
+
+NEURONS = (64,)
+LAYERS = 3
+BATCH = 4
+DAILY_SAMPLES = 40 * BATCH  # ~40 queries over the day
+
+#: the storm: preemptions 10:00-14:00, transient queue faults all day,
+#: one warm-pool-flushing redeploy at 16:00.
+STORM = ChaosConfig(
+    plan=FaultPlan(
+        processes=(
+            PreemptionWindows(windows=((10 * 3600.0, 14 * 3600.0),)),
+            PoissonFaultProcess("queue", rate_per_hour=1.5),
+            ColdStartStorm(deploy_times=(16 * 3600.0,)),
+        ),
+        seed=23,
+    ),
+    retry=RetryPolicy(max_attempts=3, initial_backoff_seconds=5.0, seed=7),
+    channel_retry=RetryPolicy(max_attempts=5, initial_backoff_seconds=0.05, seed=8),
+    deadline_seconds=2 * 3600.0,
+)
+
+
+def main() -> None:
+    model = build_graph_challenge_model(
+        GraphChallengeConfig(neurons=64, layers=LAYERS, nnz_per_row=8, num_communities=8, seed=7)
+    )
+
+    def factory():
+        return QueryWorkloadFactory(model_builder=lambda n: model)
+
+    backends = {
+        # QUEUE variant so the storm's transient queue faults actually land
+        # on channel traffic (the serial variant has none).
+        "fsd-serverless": lambda: FSDServingBackend(
+            CloudEnvironment(),
+            factory(),
+            config_for=lambda n: EngineConfig(variant=Variant.QUEUE, workers=2),
+        ),
+        "server-always-on": lambda: ServerServingBackend(
+            CloudEnvironment(), ServerMode.ALWAYS_ON_HOT, factory()
+        ),
+    }
+    scenario = Scenario(
+        "poisson-day",
+        PoissonProcess(),
+        daily_samples=DAILY_SAMPLES,
+        batch_size=BATCH,
+        neuron_counts=NEURONS,
+        seed=31,
+    )
+
+    report = Campaign([scenario], backends, chaos_sets={"storm": STORM}).run(
+        max_workers=1
+    )
+
+    print("reliability under the storm (identical fault plan for both backends):\n")
+    header = (
+        "| backend | availability | goodput (q/h) | query retries | "
+        "completed / failed / shed | cost per query |"
+    )
+    print(header)
+    print("|" + " --- |" * 6)
+    rows = {}
+    for name in backends:
+        cell = report.cell("poisson-day", name, chaos="storm")
+        chaos = cell.summary["chaos"]
+        counts = chaos["outcome_counts"]
+        rows[name] = (chaos, cell)
+        print(
+            f"| {name} | {chaos['availability']:.3f} | "
+            f"{chaos['goodput_queries_per_hour']:.2f} | {chaos['retry_count']} | "
+            f"{counts['completed']} / {counts['failed']} / {counts['shed']} | "
+            f"${cell.cost_per_query:.6f} |"
+        )
+
+    fsd_chaos, fsd_cell = rows["fsd-serverless"]
+    srv_chaos, srv_cell = rows["server-always-on"]
+    assert srv_chaos["availability"] == 1.0, "the VM backend never touches FaaS/queues"
+    assert fsd_chaos["availability"] < 1.0, "the storm must bite the serverless backend"
+
+    print()
+    print(
+        "the storm only reaches the serverless substrate: the FSD backend "
+        f"absorbed {fsd_chaos['fault_counts']} via {fsd_chaos['retry_count']} retries "
+        f"and still completed {fsd_chaos['outcome_counts']['completed']} queries, "
+        "while the always-on server saw zero faults"
+    )
+    print(
+        "the price of that immunity is idle capacity: "
+        f"${float(srv_cell.summary['cost_total']):.4f}/day always-on vs "
+        f"${float(fsd_cell.summary['cost_total']):.4f}/day serverless "
+        "(including the storm's billed-then-abandoned retry attempts)"
+    )
+
+
+if __name__ == "__main__":
+    main()

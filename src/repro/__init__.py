@@ -34,13 +34,26 @@ from .baselines import (
     run_hpc_query,
     run_server_query,
 )
+from .chaos import (
+    ChaosConfig,
+    ColdStartStorm,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    PoissonFaultProcess,
+    PreemptionWindows,
+    RetryPolicy,
+    ScheduledFaults,
+)
 from .cloud import (
     CloudEnvironment,
     CostReport,
+    FunctionPreemptedError,
     FunctionTimeoutError,
     LatencyModel,
     OutOfMemoryError,
     PriceBook,
+    TransientServiceError,
     VirtualClock,
 )
 from .comm import (
@@ -99,6 +112,7 @@ from .planner import (
 from .scenarios import (
     ArrivalProcess,
     BurstyProcess,
+    ChaosScenario,
     DiurnalProcess,
     FlashCrowdProcess,
     MixtureScenario,
@@ -155,13 +169,25 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # chaos
+    "ChaosConfig",
+    "ColdStartStorm",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PoissonFaultProcess",
+    "PreemptionWindows",
+    "RetryPolicy",
+    "ScheduledFaults",
     # cloud
     "CloudEnvironment",
     "CostReport",
+    "FunctionPreemptedError",
     "FunctionTimeoutError",
     "LatencyModel",
     "OutOfMemoryError",
     "PriceBook",
+    "TransientServiceError",
     "VirtualClock",
     # comm
     "ObjectChannel",
@@ -216,6 +242,7 @@ __all__ = [
     # scenarios
     "ArrivalProcess",
     "BurstyProcess",
+    "ChaosScenario",
     "DiurnalProcess",
     "FlashCrowdProcess",
     "MixtureScenario",

@@ -22,7 +22,7 @@ from typing import Optional
 import numpy as np
 from scipy import sparse
 
-from ..cloud import CloudEnvironment, SERVICE_ENDPOINT
+from ..cloud import CloudEnvironment, CloudError, SERVICE_ENDPOINT
 from ..cloud.faas import MEMORY_MB_PER_VCPU
 from ..model import SparseDNN
 from ..sparse import as_csr, csr_nbytes, flop_count_spmm
@@ -35,8 +35,14 @@ __all__ = [
 ]
 
 
-class EndpointInfeasibleError(RuntimeError):
-    """The workload cannot run on the managed endpoint at all."""
+class EndpointInfeasibleError(CloudError, RuntimeError):
+    """The workload cannot run on the managed endpoint at all.
+
+    A cloud-shaped failure (it is the endpoint service rejecting the query),
+    so it descends from :class:`~repro.cloud.CloudError` for uniform retry
+    classification -- infeasibility is deterministic, hence not retryable --
+    while keeping ``RuntimeError`` in the MRO for pre-existing callers.
+    """
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,42 @@
+"""Deterministic chaos layer: seeded fault injection and resilience policies.
+
+The subsystem splits into declarative and runtime halves:
+
+* :mod:`repro.chaos.faults` -- seeded fault *processes* (Poisson transient
+  errors, scheduled preemption windows, cold-start storms) composed into a
+  :class:`FaultPlan` whose materialised schedule is a pure function of
+  ``(processes, seed, horizon)``;
+* :mod:`repro.chaos.injection` -- the :class:`FaultInjector` that cloud
+  services consult from their interception points;
+* :mod:`repro.chaos.retry` -- the seeded, stateless :class:`RetryPolicy`;
+* :mod:`repro.chaos.config` -- :class:`ChaosConfig`, the one value a
+  :class:`~repro.serving.ServingConfig` carries to turn chaos on.
+
+With ``chaos=None`` everywhere (the default), no injector is ever installed
+and every interception point reduces to a single attribute check -- the
+chaos-off serve is byte-identical to the pre-chaos loop.
+"""
+
+from .config import ChaosConfig
+from .faults import (
+    ColdStartStorm,
+    FaultEvent,
+    FaultPlan,
+    PoissonFaultProcess,
+    PreemptionWindows,
+    ScheduledFaults,
+)
+from .injection import FaultInjector
+from .retry import RetryPolicy
+
+__all__ = [
+    "ChaosConfig",
+    "ColdStartStorm",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PoissonFaultProcess",
+    "PreemptionWindows",
+    "RetryPolicy",
+    "ScheduledFaults",
+]

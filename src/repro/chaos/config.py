@@ -1,0 +1,52 @@
+"""The single knob the serving layer exposes for chaos: a ``ChaosConfig``.
+
+Bundles the fault plan with the resilience mechanisms that answer it: the
+serving-level retry policy (re-dispatching failed queries on cold
+replacements), the channel-level retry policy (re-issuing transient
+publish/receive/put/get calls inside a dispatch), and the per-query
+deadline that drives load shedding.  A ``ServingConfig`` with ``chaos=None``
+(the default) replays the exact fault-free loop; the config is frozen,
+picklable data so campaign cells can carry it to process-pool workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .faults import FaultPlan
+from .injection import FaultInjector
+from .retry import RetryPolicy
+
+__all__ = ["ChaosConfig"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos configuration: faults to inject plus how to survive them."""
+
+    plan: FaultPlan
+    #: serving-level policy: failed dispatch -> backoff -> cold re-dispatch.
+    retry: Optional[RetryPolicy] = None
+    #: channel-level policy for transient publish/receive/put/get faults.
+    channel_retry: Optional[RetryPolicy] = None
+    #: per-query deadline from arrival; overdue queries are shed, and
+    #: retries that cannot finish in time are abandoned.  ``None`` disables.
+    deadline_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive when set")
+
+    def build_injector(self, horizon_seconds: float) -> FaultInjector:
+        """Materialise the plan into a fresh injector for one serve."""
+        return FaultInjector(self.plan, horizon_seconds)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly identity for benchmark fingerprints."""
+        return {
+            "plan": self.plan.describe(),
+            "retry": self.retry.describe() if self.retry else None,
+            "channel_retry": self.channel_retry.describe() if self.channel_retry else None,
+            "deadline_seconds": self.deadline_seconds,
+        }

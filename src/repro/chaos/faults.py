@@ -1,0 +1,251 @@
+"""Seeded fault processes and the deterministic plans they materialise into.
+
+A :class:`FaultPlan` is the declarative identity of one chaos configuration:
+a tuple of :class:`FaultProcess` generators plus one seed.  Materialising a
+plan against a workload horizon produces a sorted list of
+:class:`FaultEvent` objects -- the *entire* fault schedule, fixed before the
+replay starts -- which the :class:`~repro.chaos.FaultInjector` then consumes
+as the serving layer drives service calls past the event timestamps.
+
+Determinism contract: a plan's events depend only on ``(processes, seed,
+horizon)``.  All randomness flows through one ``numpy`` generator seeded
+from the plan, consumed in process order, so the same plan produces the
+same fault timestamps on every run, machine and executor kind.  Every
+process (and the plan) is a frozen dataclass of primitives: hashable,
+picklable, and safe to ship to process-pool campaign workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultEvent",
+    "PoissonFaultProcess",
+    "ScheduledFaults",
+    "PreemptionWindows",
+    "ColdStartStorm",
+    "FaultPlan",
+]
+
+#: service names the interception points understand.
+FAULT_SERVICES = ("faas", "queue", "pubsub", "object", "block")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault on the shared timeline.
+
+    ``kind`` is one of ``"transient"`` (the next matching service call at or
+    after ``time`` fails once), ``"preemption"`` (FaaS capacity is lost for
+    ``[time, time + duration)``: new invocations are rejected and running
+    ones are killed) or ``"deploy"`` (every warm execution environment is
+    flushed -- a cold-start storm).  ``resource`` is a substring filter on
+    the resource name (``None`` matches everything).
+    """
+
+    time: float
+    kind: str
+    service: Optional[str] = None
+    resource: Optional[str] = None
+    duration: float = 0.0
+
+    def matches_resource(self, resource: Optional[str]) -> bool:
+        if self.resource is None:
+            return True
+        return resource is not None and self.resource in resource
+
+
+@dataclass(frozen=True)
+class PoissonFaultProcess:
+    """Transient errors arriving as a homogeneous Poisson process.
+
+    Models the background 5xx rate of one service: the number of faults over
+    the horizon is Poisson with mean ``rate_per_hour * horizon``, their
+    times uniform over the horizon (order statistics).  Each fault fails the
+    first matching service call at or after its timestamp, once.
+    """
+
+    service: str
+    rate_per_hour: float
+    resource: Optional[str] = None
+
+    name: str = field(default="poisson-transient", init=False)
+
+    def __post_init__(self) -> None:
+        if self.service not in FAULT_SERVICES:
+            raise ValueError(
+                f"unknown fault service {self.service!r}; known: {FAULT_SERVICES}"
+            )
+        if self.rate_per_hour < 0:
+            raise ValueError("rate_per_hour cannot be negative")
+
+    def events(self, horizon_seconds: float, rng: np.random.Generator) -> List[FaultEvent]:
+        count = int(rng.poisson(self.rate_per_hour * horizon_seconds / 3600.0))
+        times = np.sort(rng.uniform(0.0, horizon_seconds, size=count))
+        return [
+            FaultEvent(time=float(t), kind="transient", service=self.service, resource=self.resource)
+            for t in times
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "service": self.service,
+            "rate_per_hour": self.rate_per_hour,
+            "resource": self.resource,
+        }
+
+
+@dataclass(frozen=True)
+class ScheduledFaults:
+    """Transient errors at explicit timestamps (deterministic; for tests
+    and reproducing specific incident timelines)."""
+
+    service: str
+    times: Tuple[float, ...]
+    resource: Optional[str] = None
+
+    name: str = field(default="scheduled-transient", init=False)
+
+    def __post_init__(self) -> None:
+        if self.service not in FAULT_SERVICES:
+            raise ValueError(
+                f"unknown fault service {self.service!r}; known: {FAULT_SERVICES}"
+            )
+        object.__setattr__(self, "times", tuple(float(t) for t in self.times))
+        if any(t < 0 for t in self.times):
+            raise ValueError("fault times cannot be negative")
+
+    def events(self, horizon_seconds: float, rng: np.random.Generator) -> List[FaultEvent]:
+        return [
+            FaultEvent(time=t, kind="transient", service=self.service, resource=self.resource)
+            for t in sorted(self.times)
+            if t <= horizon_seconds
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "service": self.service,
+            "times": list(self.times),
+            "resource": self.resource,
+        }
+
+
+@dataclass(frozen=True)
+class PreemptionWindows:
+    """Scheduled FaaS capacity-loss windows (spot-style preemption).
+
+    During each ``(start, end)`` window, new invocations of matching
+    functions are rejected with
+    :class:`~repro.cloud.FunctionPreemptedError` and invocations running
+    into a window are killed at the window start (billed only up to the kill
+    time; the killed environment never rejoins the warm pool).  Windows are
+    part of the plan, not drawn from the seed, so an experiment can place
+    them exactly where the scenario narrative needs them.
+    """
+
+    windows: Tuple[Tuple[float, float], ...]
+    #: substring filter on the function name; ``None`` preempts every function.
+    function: Optional[str] = None
+
+    name: str = field(default="preemption-windows", init=False)
+
+    def __post_init__(self) -> None:
+        canonical = tuple((float(start), float(end)) for start, end in self.windows)
+        for start, end in canonical:
+            if end <= start or start < 0:
+                raise ValueError(f"preemption window ({start}, {end}) is not a valid span")
+        object.__setattr__(self, "windows", canonical)
+
+    def events(self, horizon_seconds: float, rng: np.random.Generator) -> List[FaultEvent]:
+        return [
+            FaultEvent(
+                time=start,
+                kind="preemption",
+                service="faas",
+                resource=self.function,
+                duration=end - start,
+            )
+            for start, end in sorted(self.windows)
+            if start <= horizon_seconds
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "windows": [list(window) for window in self.windows],
+            "function": self.function,
+        }
+
+
+@dataclass(frozen=True)
+class ColdStartStorm:
+    """Simulated deploys: every warm execution environment is flushed.
+
+    At each deploy time the entire warm pool of every function is discarded,
+    so the next invocation of every function pays a cold start -- the
+    fleet-wide cold-start storm that follows a real rolling deploy.
+    """
+
+    deploy_times: Tuple[float, ...]
+
+    name: str = field(default="cold-start-storm", init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "deploy_times", tuple(float(t) for t in self.deploy_times))
+        if any(t < 0 for t in self.deploy_times):
+            raise ValueError("deploy times cannot be negative")
+
+    def events(self, horizon_seconds: float, rng: np.random.Generator) -> List[FaultEvent]:
+        return [
+            FaultEvent(time=t, kind="deploy", service="faas")
+            for t in sorted(self.deploy_times)
+            if t <= horizon_seconds
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        return {"name": self.name, "deploy_times": list(self.deploy_times)}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded tuple of fault processes -- one chaos configuration's identity."""
+
+    processes: Tuple[object, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "processes", tuple(self.processes))
+        for process in self.processes:
+            if not callable(getattr(process, "events", None)):
+                raise TypeError(f"fault process {process!r} has no events() method")
+        if self.seed < 0:
+            raise ValueError("seed cannot be negative")
+
+    def materialise(self, horizon_seconds: float) -> List[FaultEvent]:
+        """The full fault schedule over ``horizon_seconds``, sorted by time.
+
+        One generator seeded from the plan is threaded through the processes
+        in declaration order, so the schedule is a pure function of
+        ``(processes, seed, horizon)``.
+        """
+        if horizon_seconds < 0:
+            raise ValueError("horizon_seconds cannot be negative")
+        rng = np.random.default_rng(self.seed)
+        events: List[FaultEvent] = []
+        for process in self.processes:
+            events.extend(process.events(horizon_seconds, rng))
+        events.sort(key=lambda e: (e.time, e.kind, e.service or "", e.resource or ""))
+        return events
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly identity for benchmark fingerprints."""
+        return {
+            "seed": self.seed,
+            "processes": [process.describe() for process in self.processes],
+        }

@@ -1,0 +1,83 @@
+"""Seeded retry policy: exponential backoff with deterministic jitter.
+
+The policy is a frozen dataclass of primitives and carries **no mutable
+state** -- the jitter for one backoff is derived from ``(seed, attempt,
+token)`` through a throwaway ``numpy`` generator, so two call sites retrying
+with the same policy never perturb each other, and a campaign cell replayed
+in a thread pool or a process pool produces identical retry schedules.
+Retryability is decided by the error's own ``retryable`` classification
+(see :mod:`repro.cloud.errors`), never by string matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and a max-attempt cap.
+
+    ``max_attempts`` counts the initial attempt: ``max_attempts=3`` means at
+    most two retries.  The backoff before retry ``attempt + 1`` is
+    ``initial * multiplier ** (attempt - 1)``, clamped to ``max_backoff``,
+    then scaled by a jitter factor uniform in ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_attempts: int = 3
+    initial_backoff_seconds: float = 0.5
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 30.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.initial_backoff_seconds < 0:
+            raise ValueError("initial_backoff_seconds cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be at least 1.0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+        if self.seed < 0:
+            raise ValueError("seed cannot be negative")
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether ``error``, raised on 1-based ``attempt``, warrants a retry."""
+        if attempt >= self.max_attempts:
+            return False
+        return bool(getattr(error, "retryable", False))
+
+    def backoff_seconds(self, attempt: int, token: int = 0) -> float:
+        """Deterministic backoff before retrying after 1-based ``attempt``.
+
+        ``token`` distinguishes independent retry streams (e.g. the query id
+        or a running retry counter) so concurrent retries do not share one
+        jitter draw.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbering is 1-based")
+        base = self.initial_backoff_seconds * self.backoff_multiplier ** (attempt - 1)
+        base = min(base, self.max_backoff_seconds)
+        if self.jitter == 0.0:
+            return base
+        rng = np.random.default_rng([self.seed, attempt, max(0, int(token))])
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base * factor
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly identity for benchmark fingerprints."""
+        return {
+            "max_attempts": self.max_attempts,
+            "initial_backoff_seconds": self.initial_backoff_seconds,
+            "backoff_multiplier": self.backoff_multiplier,
+            "max_backoff_seconds": self.max_backoff_seconds,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }

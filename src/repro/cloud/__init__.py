@@ -27,6 +27,7 @@ from .errors import (
     BatchTooLargeError,
     CloudError,
     ConcurrencyLimitError,
+    FunctionPreemptedError,
     FunctionTimeoutError,
     InvalidRequestError,
     OutOfMemoryError,
@@ -35,7 +36,9 @@ from .errors import (
     ResourceNotFoundError,
     ServiceQuotaExceededError,
     ThrottlingError,
+    TransientServiceError,
 )
+from .faults import FaultDomain
 from .faas import (
     FaaSPlatform,
     FunctionConfig,
@@ -83,6 +86,8 @@ __all__ = [
     "AccessDeniedError",
     "BatchTooLargeError",
     "ConcurrencyLimitError",
+    "FaultDomain",
+    "FunctionPreemptedError",
     "FunctionTimeoutError",
     "InvalidRequestError",
     "OutOfMemoryError",
@@ -91,6 +96,7 @@ __all__ = [
     "ResourceNotFoundError",
     "ServiceQuotaExceededError",
     "ThrottlingError",
+    "TransientServiceError",
     "FaaSPlatform",
     "FunctionConfig",
     "FunctionInvocation",

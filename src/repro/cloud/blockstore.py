@@ -11,10 +11,11 @@ capacity charge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .billing import SERVICE_BLOCK, BillingLedger
 from .errors import InvalidRequestError, ResourceAlreadyExistsError, ResourceNotFoundError
+from .faults import FaultDomain
 from .pricing import PriceBook
 from .timing import LatencyModel, VirtualClock
 
@@ -33,6 +34,7 @@ class BlockVolume:
         ledger: BillingLedger,
         latency: LatencyModel,
         prices: PriceBook,
+        faults: Optional[FaultDomain] = None,
     ):
         if size_gb <= 0:
             raise InvalidRequestError("volume size must be positive")
@@ -41,6 +43,7 @@ class BlockVolume:
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
+        self._faults = faults or FaultDomain()
         self.total_bytes_read = 0
 
     def read(self, size_bytes: int, clock: VirtualClock) -> float:
@@ -49,6 +52,9 @@ class BlockVolume:
             raise InvalidRequestError("cannot read a negative number of bytes")
         duration = self._latency.block_read(size_bytes)
         clock.advance(duration)
+        injector = self._faults.injector
+        if injector is not None:
+            injector.check("block", "read", self.name, clock.now)
         self.total_bytes_read += size_bytes
         return duration
 
@@ -75,16 +81,25 @@ class BlockVolume:
 class BlockStorageService:
     """Account-level volume registry."""
 
-    def __init__(self, ledger: BillingLedger, latency: LatencyModel, prices: PriceBook):
+    def __init__(
+        self,
+        ledger: BillingLedger,
+        latency: LatencyModel,
+        prices: PriceBook,
+        faults: Optional[FaultDomain] = None,
+    ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
+        self._faults = faults or FaultDomain()
         self._volumes: Dict[str, BlockVolume] = {}
 
     def create_volume(self, name: str, size_gb: float) -> BlockVolume:
         if name in self._volumes:
             raise ResourceAlreadyExistsError(f"volume '{name}' already exists")
-        volume = BlockVolume(name, size_gb, self._ledger, self._latency, self._prices)
+        volume = BlockVolume(
+            name, size_gb, self._ledger, self._latency, self._prices, faults=self._faults
+        )
         self._volumes[name] = volume
         return volume
 

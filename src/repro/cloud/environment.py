@@ -17,6 +17,7 @@ from typing import Optional
 from .billing import BillingLedger, CostReport
 from .blockstore import BlockStorageService
 from .faas import FaaSPlatform
+from .faults import FaultDomain
 from .objectstore import ObjectStorageService
 from .pricing import PriceBook
 from .pubsub import PubSubService
@@ -53,18 +54,36 @@ class CloudEnvironment:
         self.latency = latency or LatencyModel()
         self.prices = prices or PriceBook()
         self.ledger = BillingLedger(self.prices)
+        #: one fault domain shared by every service: installing a chaos
+        #: injector here arms all interception points of this environment.
+        self.faults = FaultDomain()
         self.faas = FaaSPlatform(
             self.ledger,
             self.latency,
             self.prices,
             concurrency_limit=faas_concurrency_limit,
             warm_keepalive_seconds=faas_warm_keepalive_seconds,
+            faults=self.faults,
         )
-        self.pubsub = PubSubService(self.ledger, self.latency, self.prices)
-        self.queues = QueueService(self.ledger, self.latency, self.prices)
-        self.object_storage = ObjectStorageService(self.ledger, self.latency, self.prices)
-        self.block_storage = BlockStorageService(self.ledger, self.latency, self.prices)
+        self.pubsub = PubSubService(self.ledger, self.latency, self.prices, faults=self.faults)
+        self.queues = QueueService(self.ledger, self.latency, self.prices, faults=self.faults)
+        self.object_storage = ObjectStorageService(
+            self.ledger, self.latency, self.prices, faults=self.faults
+        )
+        self.block_storage = BlockStorageService(
+            self.ledger, self.latency, self.prices, faults=self.faults
+        )
         self.vms = VMService(self.ledger, self.latency, self.prices)
+
+    # -- chaos ---------------------------------------------------------------------
+
+    def install_chaos(self, injector, channel_retry=None) -> None:
+        """Arm every fault-injection interception point of this environment."""
+        self.faults.install(injector, channel_retry)
+
+    def clear_chaos(self) -> None:
+        """Disarm fault injection (back to the fault-free substrate)."""
+        self.faults.clear()
 
     # -- convenience ---------------------------------------------------------------
 

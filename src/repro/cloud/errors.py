@@ -4,13 +4,45 @@ Every simulated service raises exceptions from this module so that callers
 (the FSD-Inference engine, the baselines and the tests) can handle cloud
 failures uniformly, mirroring how ``botocore`` exposes a common
 ``ClientError`` root for AWS SDK errors.
+
+Every :class:`CloudError` carries three structured fields so that retry
+classification never has to string-match on messages:
+
+* ``resource`` -- the queue/topic/bucket/function the failed call addressed
+  (``None`` when the failure is not tied to one resource);
+* ``operation`` -- the API operation that failed (``"send"``, ``"publish"``,
+  ``"invoke"``, ...);
+* ``retryable`` -- whether an identical request may succeed if re-issued.
+  Transient faults, throttling, preemptions and concurrency rejections are
+  retryable; validation errors, quota overruns, timeouts and out-of-memory
+  failures are deterministic and are not.  Subclasses set a class-level
+  default; individual raises may override it per instance.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class CloudError(Exception):
     """Base class for every error raised by the simulated cloud services."""
+
+    #: class-level default; instances may override via the constructor.
+    retryable: bool = False
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        resource: Optional[str] = None,
+        operation: Optional[str] = None,
+        retryable: Optional[bool] = None,
+    ):
+        super().__init__(message)
+        self.resource = resource
+        self.operation = operation
+        if retryable is not None:
+            self.retryable = retryable
 
 
 class ServiceQuotaExceededError(CloudError):
@@ -34,7 +66,11 @@ class AccessDeniedError(CloudError):
 
 
 class FunctionTimeoutError(CloudError):
-    """A FaaS invocation exceeded its configured maximum runtime."""
+    """A FaaS invocation exceeded its configured maximum runtime.
+
+    Not retryable: the runtime is a deterministic function of the workload in
+    this simulation, so an identical retry would time out identically.
+    """
 
     def __init__(self, function_name: str, runtime_seconds: float, limit_seconds: float):
         self.function_name = function_name
@@ -42,7 +78,9 @@ class FunctionTimeoutError(CloudError):
         self.limit_seconds = limit_seconds
         super().__init__(
             f"function '{function_name}' ran for {runtime_seconds:.1f}s, "
-            f"exceeding its {limit_seconds:.1f}s limit"
+            f"exceeding its {limit_seconds:.1f}s limit",
+            resource=function_name,
+            operation="invoke",
         )
 
 
@@ -55,7 +93,9 @@ class OutOfMemoryError(CloudError):
         self.limit_mb = limit_mb
         super().__init__(
             f"function '{function_name}' needs {required_mb:.0f}MB "
-            f"but is limited to {limit_mb:.0f}MB"
+            f"but is limited to {limit_mb:.0f}MB",
+            resource=function_name,
+            operation="invoke",
         )
 
 
@@ -87,6 +127,60 @@ class BatchTooLargeError(ServiceQuotaExceededError):
 class ThrottlingError(CloudError):
     """The request rate exceeded the provisioned or burst capacity."""
 
+    retryable = True
+
 
 class ConcurrencyLimitError(CloudError):
-    """The account-wide FaaS concurrency limit would be exceeded."""
+    """The account-wide FaaS concurrency limit would be exceeded.
+
+    Retryable: concurrency is freed as running invocations complete, so a
+    delayed re-issue of the same request may be admitted.
+    """
+
+    retryable = True
+
+
+class TransientServiceError(CloudError):
+    """An injected transient service failure (the chaos layer's 5xx analogue).
+
+    Raised by a service when a :class:`~repro.chaos.FaultInjector` has a
+    fault event due for it.  Always retryable: the fault is consumed when it
+    fires, so re-issuing the request models the real-cloud behaviour where
+    transient errors clear on retry.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        service: str,
+        operation: Optional[str] = None,
+        resource: Optional[str] = None,
+    ):
+        self.service = service
+        where = f" on '{resource}'" if resource else ""
+        super().__init__(
+            f"transient {service} error during {operation or 'request'}{where}",
+            resource=resource,
+            operation=operation,
+        )
+
+
+class FunctionPreemptedError(CloudError):
+    """A FaaS execution environment was reclaimed by the platform.
+
+    Models spot-style capacity loss: during a scheduled preemption window new
+    invocations are rejected and running ones are killed (and billed only up
+    to the kill time).  Retryable: capacity returns when the window closes.
+    """
+
+    retryable = True
+
+    def __init__(self, function_name: str, at_time: float):
+        self.function_name = function_name
+        self.at_time = at_time
+        super().__init__(
+            f"function '{function_name}' preempted at t={at_time:.3f}s",
+            resource=function_name,
+            operation="invoke",
+        )

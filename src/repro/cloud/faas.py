@@ -40,12 +40,14 @@ from typing import Any, Callable, Dict, List, Optional
 from .billing import SERVICE_FAAS, BillingLedger
 from .errors import (
     ConcurrencyLimitError,
+    FunctionPreemptedError,
     FunctionTimeoutError,
     InvalidRequestError,
     OutOfMemoryError,
     ResourceAlreadyExistsError,
     ResourceNotFoundError,
 )
+from .faults import FaultDomain
 from .pricing import PriceBook
 from .timing import LatencyModel, VirtualClock
 
@@ -178,6 +180,19 @@ class FunctionInvocation:
         """Close the invocation, bill it, and return its total runtime."""
         if self.finished:
             return self.runtime_seconds
+        injector = self._platform.faults.injector
+        if injector is not None and enforce_timeout and self.failed_reason is None:
+            kill_time = injector.preemption_kill_time(
+                self.function_name, self.started_at, self.clock.now
+            )
+            if kill_time is not None:
+                # The environment was reclaimed mid-run: bill only up to the
+                # kill time and never return it to the warm pool.
+                self.failed_reason = "preempted"
+                self.finished = True
+                self._finish_time = kill_time
+                self._platform._record_invocation(self)
+                raise FunctionPreemptedError(self.function_name, kill_time)
         self.finished = True
         self._finish_time = self.clock.now
         self._platform._record_invocation(self)
@@ -215,10 +230,12 @@ class FaaSPlatform:
         prices: PriceBook,
         concurrency_limit: int = 1000,
         warm_keepalive_seconds: Optional[float] = None,
+        faults: Optional[FaultDomain] = None,
     ):
         self.ledger = ledger
         self.latency = latency
         self.prices = prices
+        self.faults = faults or FaultDomain()
         self.concurrency_limit = concurrency_limit
         #: None keeps the legacy timeless reuse rule; a number makes warm
         #: reuse depend on the idle gap between invocations (shared timeline).
@@ -295,6 +312,12 @@ class FaaSPlatform:
         else:
             request_time = 0.0
 
+        injector = self.faults.injector
+        if injector is not None:
+            # May flush warm pools (deploy storms) or raise a retryable
+            # preemption/transient error before any environment is claimed.
+            injector.on_faas_request(self, name, request_time)
+
         if force_cold is None:
             cold = not self._claim_warm_environment(name, request_time)
         else:
@@ -370,9 +393,17 @@ class FaaSPlatform:
 
     def _record_invocation(self, invocation: FunctionInvocation) -> None:
         self._active_invocations = max(0, self._active_invocations - 1)
-        self._warm_environments.setdefault(invocation.function_name, []).append(
-            invocation.clock.now
+        # A preempted invocation ends at its kill time (earlier than the
+        # clock) and its reclaimed environment never rejoins the warm pool.
+        ended_at = (
+            invocation._finish_time
+            if invocation._finish_time is not None
+            else invocation.clock.now
         )
+        if invocation.failed_reason != "preempted":
+            self._warm_environments.setdefault(invocation.function_name, []).append(
+                ended_at
+            )
         gb_seconds = (invocation.config.memory_mb / 1024.0) * invocation.runtime_seconds
         cost = (
             self.prices.faas_price_per_invocation
@@ -384,7 +415,7 @@ class FaaSPlatform:
             resource=invocation.function_name,
             quantity=1,
             cost=self.prices.faas_price_per_invocation,
-            timestamp=invocation.clock.now,
+            timestamp=ended_at,
         )
         self.ledger.record(
             service=SERVICE_FAAS,
@@ -392,14 +423,14 @@ class FaaSPlatform:
             resource=invocation.function_name,
             quantity=gb_seconds,
             cost=gb_seconds * self.prices.faas_price_per_gb_second,
-            timestamp=invocation.clock.now,
+            timestamp=ended_at,
         )
         self.invocation_records.append(
             InvocationRecord(
                 function_name=invocation.function_name,
                 invocation_id=invocation.invocation_id,
                 started_at=invocation.started_at,
-                finished_at=invocation.clock.now,
+                finished_at=ended_at,
                 runtime_seconds=invocation.runtime_seconds,
                 memory_mb=invocation.config.memory_mb,
                 cold=invocation.cold,
@@ -412,6 +443,26 @@ class FaaSPlatform:
     @property
     def active_invocations(self) -> int:
         return self._active_invocations
+
+    def flush_warm_pools(self) -> None:
+        """Discard every idle execution environment (a simulated deploy).
+
+        The next invocation of every function pays a cold start -- the
+        cold-start storm that follows a rolling redeploy of the fleet.
+        """
+        for pool in self._warm_environments.values():
+            pool.clear()
+
+    def abandon_active_invocations(self, active_before: int) -> None:
+        """Forget invocations started after an ``active_invocations`` snapshot.
+
+        Recovery hook for the serving layer: when a dispatch dies mid-flight
+        (e.g. a worker invocation is preempted before the engine could finish
+        its siblings), the invocations it started would otherwise hold
+        concurrency slots forever.  Clamping back to the pre-dispatch count
+        releases them without touching anything billed so far.
+        """
+        self._active_invocations = min(self._active_invocations, max(0, active_before))
 
     def warm_environment_count(self, name: str, at_time: Optional[float] = None) -> int:
         """Idle environments of ``name``; with ``at_time``, only those a

@@ -1,0 +1,52 @@
+"""Per-environment mount point for the chaos layer's fault injector.
+
+The cloud services know nothing about how faults are planned or generated --
+that lives in :mod:`repro.chaos`.  What they share is one
+:class:`FaultDomain` per :class:`~repro.cloud.CloudEnvironment`: a tiny
+mutable holder every service (and every queue/topic/bucket/volume it
+creates) keeps a reference to.  Installing an injector on the domain arms
+every interception point of that environment at once; clearing it disarms
+them.
+
+With nothing installed (the default) every hook is a single attribute check
+that takes the no-op branch, so a chaos-off run executes the exact same
+service code -- and produces the exact same clocks, bills and fingerprints
+-- as before the chaos layer existed.
+
+The injector itself is duck-typed (any object with ``check``,
+``on_faas_request`` and ``preemption_kill_time``); the canonical
+implementation is :class:`repro.chaos.FaultInjector`.  ``channel_retry``
+carries the communication layer's transient-retry policy (see
+:class:`repro.chaos.RetryPolicy`) to the channels, which look it up through
+their cloud's domain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["FaultDomain"]
+
+
+class FaultDomain:
+    """Mutable chaos mount point shared by every service of one environment."""
+
+    __slots__ = ("injector", "channel_retry")
+
+    def __init__(self) -> None:
+        self.injector: Optional[Any] = None
+        self.channel_retry: Optional[Any] = None
+
+    def install(self, injector: Any, channel_retry: Optional[Any] = None) -> None:
+        """Arm every interception point of this environment."""
+        self.injector = injector
+        self.channel_retry = channel_retry
+
+    def clear(self) -> None:
+        """Disarm all interception points (back to fault-free behaviour)."""
+        self.injector = None
+        self.channel_retry = None
+
+    @property
+    def armed(self) -> bool:
+        return self.injector is not None

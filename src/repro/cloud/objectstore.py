@@ -30,6 +30,7 @@ from .errors import (
     ResourceAlreadyExistsError,
     ResourceNotFoundError,
 )
+from .faults import FaultDomain
 from .pricing import PriceBook
 from .timing import LatencyModel, VirtualClock
 
@@ -67,11 +68,13 @@ class Bucket:
         ledger: BillingLedger,
         latency: LatencyModel,
         prices: PriceBook,
+        faults: Optional[FaultDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
+        self._faults = faults or FaultDomain()
         self._objects: Dict[str, StoredObject] = {}
         self.total_put_requests = 0
         self.total_get_requests = 0
@@ -98,6 +101,9 @@ class Bucket:
         if not key:
             raise InvalidRequestError("object key cannot be empty")
         clock.advance(self._latency.object_put(len(data)))
+        injector = self._faults.injector
+        if injector is not None:
+            injector.check("object", "put", self.name, clock.now)
         self._objects[key] = StoredObject(key=key, data=bytes(data), visible_at=clock.now)
         self.total_put_requests += 1
         self.total_bytes_written += len(data)
@@ -124,6 +130,17 @@ class Bucket:
         Raises :class:`ResourceNotFoundError` when the key does not exist or
         is not yet visible at the caller's current virtual time.
         """
+        injector = self._faults.injector
+        if injector is not None:
+            try:
+                injector.check("object", "get", self.name, clock.now)
+            except Exception:
+                # Like a 404, a transiently failed GET still takes the round
+                # trip and is billed as one request.
+                clock.advance(self._latency.object_get(0))
+                self.total_get_requests += 1
+                self._bill("get", self._prices.object_price_per_get, clock.now)
+                raise
         obj = self._objects.get(key)
         if obj is None or obj.visible_at > clock.now:
             # The failed request still costs a GET, exactly as S3 bills 404s.
@@ -184,16 +201,23 @@ class Bucket:
 class ObjectStorageService:
     """Account-level bucket registry (the S3 control plane)."""
 
-    def __init__(self, ledger: BillingLedger, latency: LatencyModel, prices: PriceBook):
+    def __init__(
+        self,
+        ledger: BillingLedger,
+        latency: LatencyModel,
+        prices: PriceBook,
+        faults: Optional[FaultDomain] = None,
+    ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
+        self._faults = faults or FaultDomain()
         self._buckets: Dict[str, Bucket] = {}
 
     def create_bucket(self, name: str) -> Bucket:
         if name in self._buckets:
             raise ResourceAlreadyExistsError(f"bucket '{name}' already exists")
-        bucket = Bucket(name, self._ledger, self._latency, self._prices)
+        bucket = Bucket(name, self._ledger, self._latency, self._prices, faults=self._faults)
         self._buckets[name] = bucket
         return bucket
 

@@ -30,6 +30,7 @@ from .errors import (
     ResourceAlreadyExistsError,
     ResourceNotFoundError,
 )
+from .faults import FaultDomain
 from .pricing import PriceBook
 from .queues import AttributeValue, Queue, QueueMessage
 from .timing import LatencyModel, VirtualClock
@@ -92,11 +93,13 @@ class Topic:
         ledger: BillingLedger,
         latency: LatencyModel,
         prices: PriceBook,
+        faults: Optional[FaultDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
+        self._faults = faults or FaultDomain()
         self._subscriptions: List[Subscription] = []
         self.total_publish_calls = 0
         self.total_messages_published = 0
@@ -133,6 +136,9 @@ class Topic:
             raise PayloadTooLargeError(payload_bytes, MAX_PUBLISH_BYTES, "pubsub")
 
         clock.advance(self._latency.pubsub_publish(payload_bytes))
+        injector = self._faults.injector
+        if injector is not None:
+            injector.check("pubsub", "publish", self.name, clock.now)
         self.total_publish_calls += 1
         self.total_messages_published += len(messages)
 
@@ -182,16 +188,23 @@ class Topic:
 class PubSubService:
     """Account-level topic registry (the SNS control plane)."""
 
-    def __init__(self, ledger: BillingLedger, latency: LatencyModel, prices: PriceBook):
+    def __init__(
+        self,
+        ledger: BillingLedger,
+        latency: LatencyModel,
+        prices: PriceBook,
+        faults: Optional[FaultDomain] = None,
+    ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
+        self._faults = faults or FaultDomain()
         self._topics: Dict[str, Topic] = {}
 
     def create_topic(self, name: str) -> Topic:
         if name in self._topics:
             raise ResourceAlreadyExistsError(f"topic '{name}' already exists")
-        topic = Topic(name, self._ledger, self._latency, self._prices)
+        topic = Topic(name, self._ledger, self._latency, self._prices, faults=self._faults)
         self._topics[name] = topic
         return topic
 

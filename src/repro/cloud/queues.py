@@ -31,6 +31,7 @@ from .errors import (
     ResourceAlreadyExistsError,
     ResourceNotFoundError,
 )
+from .faults import FaultDomain
 from .pricing import PriceBook
 from .timing import LatencyModel, VirtualClock
 
@@ -76,11 +77,13 @@ class Queue:
         ledger: BillingLedger,
         latency: LatencyModel,
         prices: PriceBook,
+        faults: Optional[FaultDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
+        self._faults = faults or FaultDomain()
         self._messages: List[QueueMessage] = []
         self.total_messages_received = 0
         self.total_api_calls = 0
@@ -110,6 +113,9 @@ class Queue:
         """Send one message directly to the queue (bypassing any pub/sub topic)."""
         self._validate_message(message)
         clock.advance(self._latency.queue_send(message.size_bytes))
+        injector = self._faults.injector
+        if injector is not None:
+            injector.check("queue", "send", self.name, clock.now)
         message.available_at = max(message.available_at, clock.now)
         self._messages.append(message)
         self._bill("send", message.size_bytes, clock.now)
@@ -150,6 +156,9 @@ class Queue:
             )
 
         clock.advance(self._latency.queue_receive())
+        injector = self._faults.injector
+        if injector is not None:
+            injector.check("queue", "receive", self.name, clock.now)
         visible = self._visible_messages(clock.now)
 
         if not visible and wait_seconds > 0:
@@ -204,16 +213,23 @@ class Queue:
 class QueueService:
     """Account-level queue registry (the SQS control plane)."""
 
-    def __init__(self, ledger: BillingLedger, latency: LatencyModel, prices: PriceBook):
+    def __init__(
+        self,
+        ledger: BillingLedger,
+        latency: LatencyModel,
+        prices: PriceBook,
+        faults: Optional[FaultDomain] = None,
+    ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
+        self._faults = faults or FaultDomain()
         self._queues: Dict[str, Queue] = {}
 
     def create_queue(self, name: str) -> Queue:
         if name in self._queues:
             raise ResourceAlreadyExistsError(f"queue '{name}' already exists")
-        queue = Queue(name, self._ledger, self._latency, self._prices)
+        queue = Queue(name, self._ledger, self._latency, self._prices, faults=self._faults)
         self._queues[name] = queue
         return queue
 

@@ -63,6 +63,8 @@ class ChannelStats:
     get_calls: int = 0
     list_calls: int = 0
     delete_calls: int = 0
+    #: transient service errors absorbed by the channel's retry policy.
+    retries: int = 0
 
     def merge(self, other: "ChannelStats") -> "ChannelStats":
         return self.snapshot().accumulate(other)
@@ -213,3 +215,26 @@ class CommChannel(ABC):
 
     def reset_stats(self) -> None:
         self.stats = ChannelStats()
+
+    # -- resilience -----------------------------------------------------------------
+
+    def _with_transient_retry(self, retry, clock: VirtualClock, call):
+        """Run ``call()``, retrying retryable cloud errors under ``retry``.
+
+        ``call`` must issue its service requests against ``clock`` so the
+        backoff the channel spends between attempts lands on the same
+        timeline as the failed requests.  With ``retry is None`` (chaos off)
+        this is a plain passthrough.
+        """
+        if retry is None:
+            return call()
+        attempt = 1
+        while True:
+            try:
+                return call()
+            except Exception as error:
+                if not retry.should_retry(error, attempt):
+                    raise
+                clock.advance(retry.backoff_seconds(attempt, token=self.stats.retries))
+                self.stats.retries += 1
+                attempt += 1

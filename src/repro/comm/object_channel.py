@@ -121,15 +121,25 @@ class ObjectChannel(CommChannel):
         bucket = self._bucket_for(target)
         has_data = len(global_rows) > 0 and rows.nnz > 0
 
+        retry = self.cloud.faults.channel_retry
+
         if not has_data:
             key = self._key(layer, source, target, empty=True)
-            pool.run(lambda clock: bucket.put_object(key, b"", clock))
+            pool.run(
+                lambda clock: self._with_transient_retry(
+                    retry, clock, lambda: bucket.put_object(key, b"", clock)
+                )
+            )
             self.stats.put_calls += 1
             return SendResult(bytes_sent=0, chunks=0, api_calls=1)
 
         payload = encode_row_payload(global_rows, rows, compress=self.config.compress)
         key = self._key(layer, source, target, empty=False)
-        pool.run(lambda clock: bucket.put_object(key, payload, clock))
+        pool.run(
+            lambda clock: self._with_transient_retry(
+                retry, clock, lambda: bucket.put_object(key, payload, clock)
+            )
+        )
         self.stats.put_calls += 1
         self.stats.bytes_sent += len(payload)
         self.stats.messages_sent += 1
@@ -146,7 +156,10 @@ class ObjectChannel(CommChannel):
     ) -> PollResult:
         bucket = self._bucket_for(worker)
         prefix = self._prefix(layer, worker)
-        handles = bucket.list_objects(prefix, clock)
+        retry = self.cloud.faults.channel_retry
+        handles = self._with_transient_retry(
+            retry, clock, lambda: bucket.list_objects(prefix, clock)
+        )
         self.stats.list_calls += 1
 
         result = PollResult()
@@ -171,7 +184,11 @@ class ObjectChannel(CommChannel):
         fetch_pool = pool or ThreadPool(clock, 1)
         fetched = []
         for source, key in to_fetch:
-            payload = fetch_pool.run(lambda c, _key=key: bucket.get_object(_key, c))
+            payload = fetch_pool.run(
+                lambda c, _key=key: self._with_transient_retry(
+                    retry, c, lambda: bucket.get_object(_key, c)
+                )
+            )
             fetched.append((source, payload))
             self.stats.get_calls += 1
         if pool is None:

@@ -160,11 +160,17 @@ class QueueChannel(CommChannel):
         batch: List[QueueMessage] = []
         batch_bytes = 0
 
+        retry = self.cloud.faults.channel_retry
+
         def flush(batch_to_send: List[QueueMessage]) -> None:
             nonlocal api_calls
             if not batch_to_send:
                 return
-            pool.run(lambda clock: topic.publish_batch(batch_to_send, clock))
+            pool.run(
+                lambda clock: self._with_transient_retry(
+                    retry, clock, lambda: topic.publish_batch(batch_to_send, clock)
+                )
+            )
             api_calls += 1
 
         for message in messages:
@@ -195,7 +201,11 @@ class QueueChannel(CommChannel):
     ) -> PollResult:
         queue = self._queue_for(worker)
         wait = self.config.long_poll_wait_seconds if self.config.use_long_polling else 0.0
-        messages = queue.receive(clock, max_messages=10, wait_seconds=wait)
+        messages = self._with_transient_retry(
+            self.cloud.faults.channel_retry,
+            clock,
+            lambda: queue.receive(clock, max_messages=10, wait_seconds=wait),
+        )
         self.stats.poll_calls += 1
         if not messages:
             self.stats.empty_polls += 1

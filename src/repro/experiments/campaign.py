@@ -39,6 +39,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..chaos import ChaosConfig
 from ..serving import InferenceServer, SchedulingPolicy, ServingBackend, ServingConfig
 from ..workloads import SporadicWorkload
 
@@ -61,10 +62,16 @@ class CampaignCell:
     scenario: str
     backend: str
     policy_set: str = "none"
+    #: name of the chaos set this cell ran under; ``"none"`` (the default)
+    #: keeps pre-chaos cell identities -- and their fingerprints -- unchanged.
+    chaos: str = "none"
 
     @property
     def label(self) -> str:
-        return f"{self.scenario}/{self.backend}/{self.policy_set}"
+        base = f"{self.scenario}/{self.backend}/{self.policy_set}"
+        if self.chaos != "none":
+            return f"{base}/{self.chaos}"
+        return base
 
 
 @dataclass
@@ -124,11 +131,14 @@ class CellResult:
             "policy_set": self.cell.policy_set,
             "summary": self.summary,
         }
+        # Chaos-free cells keep their historical hash input byte-for-byte.
+        if self.cell.chaos != "none":
+            payload["chaos"] = self.cell.chaos
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        exported: Dict[str, object] = {
             "scenario": self.cell.scenario,
             "backend": self.cell.backend,
             "policy_set": self.cell.policy_set,
@@ -138,6 +148,9 @@ class CellResult:
             "cost_per_query": self.cost_per_query,
             "cold_start_fraction": self.cold_start_fraction,
         }
+        if self.cell.chaos != "none":
+            exported["chaos"] = self.cell.chaos
+        return exported
 
 
 def _format_metric(value: object) -> str:
@@ -170,6 +183,10 @@ class CampaignReport:
     def policy_sets(self) -> List[str]:
         return self._ordered_unique(result.cell.policy_set for result in self.cells)
 
+    @property
+    def chaos_sets(self) -> List[str]:
+        return self._ordered_unique(result.cell.chaos for result in self.cells)
+
     @staticmethod
     def _ordered_unique(values) -> List[str]:
         seen: Dict[str, None] = {}
@@ -177,12 +194,14 @@ class CampaignReport:
             seen.setdefault(value)
         return list(seen)
 
-    def cell(self, scenario: str, backend: str, policy_set: str = "none") -> CellResult:
+    def cell(
+        self, scenario: str, backend: str, policy_set: str = "none", chaos: str = "none"
+    ) -> CellResult:
         """The result at one grid coordinate (``KeyError`` if absent)."""
         for result in self.cells:
-            if result.cell == CampaignCell(scenario, backend, policy_set):
+            if result.cell == CampaignCell(scenario, backend, policy_set, chaos):
                 return result
-        raise KeyError(f"no campaign cell {scenario}/{backend}/{policy_set}")
+        raise KeyError(f"no campaign cell {scenario}/{backend}/{policy_set}/{chaos}")
 
     # -- pivots ----------------------------------------------------------------
 
@@ -213,13 +232,17 @@ class CampaignReport:
     # -- export ----------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        exported: Dict[str, object] = {
             "scenarios": self.scenarios,
             "backends": self.backends,
             "policy_sets": self.policy_sets,
             "cells": [result.to_dict() for result in self.cells],
             "pivots": {policy_set: self.pivots(policy_set) for policy_set in self.policy_sets},
         }
+        chaos_sets = self.chaos_sets
+        if chaos_sets != ["none"]:
+            exported["chaos_sets"] = chaos_sets
+        return exported
 
     def to_json(self, path: Optional[Union[str, "os.PathLike[str]"]] = None, indent: int = 2) -> str:
         """Serialise the report; also writes it to ``path`` when given."""
@@ -262,6 +285,7 @@ class Campaign:
         backends: Mapping[str, BackendFactory],
         policy_sets: Optional[Mapping[str, PolicyFactory]] = None,
         max_concurrent_queries: Optional[int] = None,
+        chaos_sets: Optional[Mapping[str, Optional[ChaosConfig]]] = None,
     ):
         if isinstance(scenarios, Mapping):
             self.scenarios: Dict[str, object] = dict(scenarios)
@@ -288,14 +312,20 @@ class Campaign:
         if not self.policy_sets:
             raise ValueError("a campaign needs at least one policy set")
         self.max_concurrent_queries = max_concurrent_queries
+        self.chaos_sets: Dict[str, Optional[ChaosConfig]] = dict(
+            chaos_sets if chaos_sets is not None else {"none": None}
+        )
+        if not self.chaos_sets:
+            raise ValueError("a campaign needs at least one chaos set")
 
     def cells(self) -> List[CampaignCell]:
         """The grid in deterministic scenario-major order."""
         return [
-            CampaignCell(scenario=scenario, backend=backend, policy_set=policy_set)
+            CampaignCell(scenario=scenario, backend=backend, policy_set=policy_set, chaos=chaos)
             for scenario in self.scenarios
             for backend in self.backends
             for policy_set in self.policy_sets
+            for chaos in self.chaos_sets
         ]
 
     def _validate_cells(self, cells: Sequence[CampaignCell]) -> List[CampaignCell]:
@@ -306,6 +336,8 @@ class Campaign:
                 raise KeyError(f"cell names unknown backend {cell.backend!r}")
             if cell.policy_set not in self.policy_sets:
                 raise KeyError(f"cell names unknown policy set {cell.policy_set!r}")
+            if cell.chaos not in self.chaos_sets:
+                raise KeyError(f"cell names unknown chaos set {cell.chaos!r}")
         return list(cells)
 
     def run_cell(self, cell: CampaignCell) -> CellResult:
@@ -314,10 +346,17 @@ class Campaign:
         workload: SporadicWorkload = scenario.build()  # type: ignore[attr-defined]
         backend = self.backends[cell.backend]()
         policies = tuple(self.policy_sets[cell.policy_set]())
+        # Precedence: an explicit chaos-set entry wins; otherwise a scenario
+        # may carry its own ChaosConfig (the ChaosScenario wrapper).
+        chaos = self.chaos_sets[cell.chaos]
+        if chaos is None:
+            chaos = getattr(scenario, "chaos", None)
         server = InferenceServer(
             backend,
             ServingConfig(
-                max_concurrent_queries=self.max_concurrent_queries, policies=policies
+                max_concurrent_queries=self.max_concurrent_queries,
+                policies=policies,
+                chaos=chaos,
             ),
         )
         start = time.perf_counter()

@@ -16,6 +16,7 @@ from .processes import (
     TraceProcess,
 )
 from .scenario import (
+    ChaosScenario,
     MixtureScenario,
     Scenario,
     build_scenario_workload,
@@ -24,6 +25,7 @@ from .scenario import (
 __all__ = [
     "ArrivalProcess",
     "BurstyProcess",
+    "ChaosScenario",
     "DiurnalProcess",
     "FlashCrowdProcess",
     "PoissonProcess",

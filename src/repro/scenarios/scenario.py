@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..chaos import ChaosConfig
 from ..workloads.graph_challenge import PAPER_BATCH_SIZE, PAPER_NEURON_COUNTS
 from ..workloads.sporadic import (
     InferenceQuery,
@@ -30,6 +31,7 @@ from ..workloads.sporadic import (
 from .processes import ArrivalProcess
 
 __all__ = [
+    "ChaosScenario",
     "Scenario",
     "MixtureScenario",
     "build_scenario_workload",
@@ -205,4 +207,53 @@ class MixtureScenario:
             "name": self.name,
             "components": [component.describe() for component in self.components],
             "tenants": list(self.tenants),
+        }
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A scenario replayed under a fault plan: base workload + chaos config.
+
+    Wraps any scenario (single or mixture) with a
+    :class:`~repro.chaos.ChaosConfig`; the campaign runner picks the config
+    up via the ``chaos`` attribute whenever the cell's chaos-set entry does
+    not already force one.  The workload itself is untouched -- ``build()``
+    delegates to the base scenario, so a chaos scenario and its base produce
+    identical arrival traces and differ only in the faults injected while
+    serving them.
+    """
+
+    base: object
+    chaos: ChaosConfig
+    #: display name; defaults to ``"{base.name}+chaos"``.
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(getattr(self.base, "build", None)):
+            raise TypeError(f"base scenario {self.base!r} has no build() method")
+        if not isinstance(self.chaos, ChaosConfig):
+            raise TypeError("chaos must be a ChaosConfig")
+        if not self.name:
+            base_name = getattr(self.base, "name", None)
+            if not base_name:
+                raise ValueError("base scenario has no name; pass an explicit name")
+            object.__setattr__(self, "name", f"{base_name}+chaos")
+
+    @property
+    def tenants(self) -> Tuple[str, ...]:
+        return tuple(getattr(self.base, "tenants", ()))
+
+    @property
+    def horizon_seconds(self) -> float:
+        return float(getattr(self.base, "horizon_seconds", _SECONDS_PER_DAY))
+
+    def build(self) -> SporadicWorkload:
+        return self.base.build()  # type: ignore[attr-defined]
+
+    def describe(self) -> Dict[str, object]:
+        base_describe = getattr(self.base, "describe", None)
+        return {
+            "name": self.name,
+            "base": base_describe() if callable(base_describe) else repr(self.base),
+            "chaos": self.chaos.describe(),
         }

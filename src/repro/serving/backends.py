@@ -182,6 +182,40 @@ class ServingBackend(ABC):
     def begin(self, workload: SporadicWorkload) -> None:
         """Called once before replay starts (checkpoints, standing bills)."""
 
+    # -- chaos hooks ---------------------------------------------------------
+    #
+    # Backends running on a simulated cloud (``self.cloud``) arm/disarm that
+    # environment's fault domain; substrate-free backends (HPC) are no-ops.
+
+    def install_chaos(self, injector: Any, channel_retry: Any = None) -> None:
+        """Arm the backend's cloud environment with a fault injector."""
+        cloud = getattr(self, "cloud", None)
+        if cloud is not None:
+            cloud.install_chaos(injector, channel_retry)
+
+    def clear_chaos(self) -> None:
+        """Disarm fault injection on the backend's cloud environment."""
+        cloud = getattr(self, "cloud", None)
+        if cloud is not None:
+            cloud.clear_chaos()
+
+    def attempt_begin(self) -> Any:
+        """Snapshot backend state before a dispatch that may fail mid-flight."""
+        cloud = getattr(self, "cloud", None)
+        return cloud.billing_checkpoint() if cloud is not None else None
+
+    def attempt_abort(self, token: Any) -> float:
+        """Recover after a failed dispatch; returns the cost it billed.
+
+        The aborted attempt's charges stay in the ledger (a preempted
+        invocation is still billed up to its kill time); the return value
+        lets the scheduler surface that partial billing on the query record.
+        """
+        cloud = getattr(self, "cloud", None)
+        if cloud is None or token is None:
+            return 0.0
+        return cloud.report_since(token).total
+
     @abstractmethod
     def _execute(
         self,
@@ -310,6 +344,25 @@ class FSDServingBackend(ServingBackend):
             channel_stats=result.channel_stats,
             result=result,
         )
+
+    def attempt_begin(self) -> Any:
+        return (self.cloud.billing_checkpoint(), self.cloud.faas.active_invocations)
+
+    def attempt_abort(self, token: Any) -> float:
+        """Release resources a crashed dispatch left behind on the engine.
+
+        A dispatch failing mid-query (e.g. a worker invocation preempted
+        before its siblings finished) leaves invocations counted as active
+        and undelivered messages in the per-worker queues; both would corrupt
+        every subsequent dispatch.  Clamp the concurrency count back to the
+        pre-dispatch snapshot and purge the queues, then report what the
+        attempt billed.
+        """
+        checkpoint, active_before = token
+        self.cloud.faas.abandon_active_invocations(active_before)
+        for name in self.cloud.queues.list_queues():
+            self.cloud.queues.get_queue(name).purge()
+        return self.cloud.report_since(checkpoint).total
 
     def finish(self) -> CostReport:
         self.cloud.faas.warm_keepalive_seconds = self._saved_keepalive

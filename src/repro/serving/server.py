@@ -41,7 +41,8 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..cloud import CostReport
+from ..chaos import ChaosConfig
+from ..cloud import CloudError, CostReport
 from ..comm import ChannelStats
 from ..workloads import InferenceQuery, SporadicWorkload
 from .backends import ServingBackend
@@ -119,6 +120,10 @@ class ServingConfig:
     #: scheduling policies consulted by the event loop, in order.  The first
     #: policy to claim an arrival holds it; ``admission_limit`` hooks chain.
     policies: Tuple[SchedulingPolicy, ...] = ()
+    #: deterministic fault injection plus the resilience mechanisms answering
+    #: it (:class:`~repro.chaos.ChaosConfig`).  ``None`` -- the default --
+    #: replays the exact fault-free loop; no injector is ever installed.
+    chaos: Optional[ChaosConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent_queries is not None and self.max_concurrent_queries < 1:
@@ -146,6 +151,15 @@ class QueryRecord:
     #: through the replay so reports can pivot per tenant.  ``None`` for
     #: untagged (single-tenant) workloads.
     tenant: Optional[str] = None
+    #: ``"completed"``, ``"failed"`` (dispatch exhausted its retries) or
+    #: ``"shed"`` (dropped before dispatch, e.g. past its deadline).  Always
+    #: ``"completed"`` on a chaos-off replay.
+    outcome: str = "completed"
+    #: dispatch attempts made (1 = first try succeeded; 0 = shed undispatched).
+    attempts: int = 1
+    #: structured reason for a non-success outcome (error class name or
+    #: ``"deadline_exceeded"``); ``None`` when completed.
+    failure_reason: Optional[str] = None
 
     @property
     def was_coalesced(self) -> bool:
@@ -179,6 +193,9 @@ class ServingReport:
     peak_concurrent_queries: int
     peak_concurrent_workers: int
     channel_stats: ChannelStats = field(default_factory=ChannelStats)
+    #: per-fault-class injection counts from the chaos injector (empty on a
+    #: chaos-off replay).
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     # -- aggregates -----------------------------------------------------------
 
@@ -243,6 +260,64 @@ class ServingReport:
     @property
     def p99_latency_seconds(self) -> float:
         return self.latency_percentile(99.0)
+
+    # -- reliability ----------------------------------------------------------
+
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for record in self.records if record.outcome == "completed")
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for record in self.records if record.outcome == "failed")
+
+    @property
+    def shed_count(self) -> int:
+        return sum(1 for record in self.records if record.outcome == "shed")
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Stable completed/shed/failed breakdown (all keys always present)."""
+        return {
+            "completed": self.completed_count,
+            "shed": self.shed_count,
+            "failed": self.failed_count,
+        }
+
+    @property
+    def availability(self) -> Optional[float]:
+        """Fraction of queries that completed; ``None`` for an empty replay."""
+        if not self.records:
+            return None
+        return self.completed_count / len(self.records)
+
+    @property
+    def goodput_queries_per_hour(self) -> Optional[float]:
+        """Completed queries per hour of makespan; ``None`` when degenerate."""
+        span = self.makespan_seconds
+        if span <= 0:
+            return None
+        return self.completed_count / (span / 3600.0)
+
+    @property
+    def retry_count(self) -> int:
+        """Serving-level re-dispatches performed across all queries."""
+        return sum(max(0, record.attempts - 1) for record in self.records)
+
+    def failure_reasons(self) -> Dict[str, int]:
+        """Structured reasons of every non-success outcome, with counts."""
+        reasons: Dict[str, int] = {}
+        for record in self.records:
+            if record.failure_reason is not None:
+                reasons[record.failure_reason] = reasons.get(record.failure_reason, 0) + 1
+        return dict(sorted(reasons.items()))
+
+    def deadline_violation_count(self, deadline_seconds: float) -> int:
+        """Queries shed or finishing later than ``deadline_seconds`` after arrival."""
+        return sum(
+            1
+            for record in self.records
+            if record.outcome == "shed" or record.latency_seconds > deadline_seconds
+        )
 
     def records_by_neurons(self) -> Dict[int, List[QueryRecord]]:
         grouped: Dict[int, List[QueryRecord]] = {}
@@ -332,7 +407,55 @@ class ServingReport:
                     self.by_tenant().items(), key=lambda item: (item[0] is None, item[0] or "")
                 )
             }
+        # Outcome breakdown only when some query did not complete (mirrors the
+        # tenants-key rule: all-success replays keep historical fingerprints).
+        if any(record.outcome != "completed" for record in self.records):
+            summary["outcome_counts"] = self.outcome_counts()
+        # Reliability block only on chaos-enabled serves.
+        if self.config.chaos is not None:
+            chaos_summary: Dict[str, object] = {
+                "config": self.config.chaos.describe(),
+                "availability": self.availability,
+                "goodput_queries_per_hour": self.goodput_queries_per_hour,
+                "retry_count": self.retry_count,
+                "channel_retries": self.channel_stats.retries,
+                "outcome_counts": self.outcome_counts(),
+                "failure_reasons": self.failure_reasons(),
+                "fault_counts": dict(sorted(self.fault_counts.items())),
+            }
+            deadline = self.config.chaos.deadline_seconds
+            if deadline is not None:
+                violations = self.deadline_violation_count(deadline)
+                chaos_summary["deadline_violation_count"] = violations
+                chaos_summary["deadline_violation_rate"] = (
+                    violations / len(self.records) if self.records else None
+                )
+            summary["chaos"] = chaos_summary
         return summary
+
+
+def _split_cost(total: float, queries: Tuple[InferenceQuery, ...]) -> List[float]:
+    """Split an aborted-attempt cost over a unit's queries, by sample share.
+
+    Same attribution rule as :func:`~repro.serving.backends.split_batch_outcome`:
+    proportional to samples with the last query absorbing the floating-point
+    remainder, so the shares sum exactly to ``total``.
+    """
+    if total == 0.0:
+        return [0.0] * len(queries)
+    total_samples = sum(query.samples for query in queries)
+    shares: List[float] = []
+    remaining = total
+    for index, query in enumerate(queries):
+        if index == len(queries) - 1:
+            share = remaining
+        elif total_samples > 0:
+            share = total * query.samples / total_samples
+        else:
+            share = total / len(queries)
+        remaining -= share
+        shares.append(share)
+    return shares
 
 
 class InferenceServer:
@@ -353,6 +476,11 @@ class InferenceServer:
         Admission times are non-decreasing, so the FaaS warm pool observes a
         causally consistent request sequence.
         """
+        chaos = self.config.chaos
+        injector = None
+        if chaos is not None:
+            injector = chaos.build_injector(workload.horizon_seconds)
+            self.backend.install_chaos(injector, chaos.channel_retry)
         self.backend.begin(workload)
         policies = self.config.policies
         for policy in policies:
@@ -377,6 +505,128 @@ class InferenceServer:
                 )
             return limit
 
+        def run_resilient(unit: Tuple[InferenceQuery, ...], now: float) -> None:
+            """Dispatch one unit under the chaos config: shed, retry, degrade.
+
+            Whatever faults fire, the unit always ends as records with a
+            structured outcome -- the serve loop itself never crashes.  A
+            failed or completed dispatch occupies an admission slot until its
+            completion event; a shed unit never takes a slot.
+            """
+            nonlocal in_flight, seq
+            leader = unit[0]
+            group = tuple(query.query_id for query in unit) if len(unit) > 1 else ()
+            deadline = chaos.deadline_seconds
+
+            if deadline is not None and now - leader.arrival_time > deadline:
+                # Load shedding: the unit is already past its deadline before
+                # dispatch, so drop it instead of burning backend capacity.
+                for query in unit:
+                    records.append(
+                        QueryRecord(
+                            query_id=query.query_id,
+                            neurons=query.neurons,
+                            samples=query.samples,
+                            arrival_time=query.arrival_time,
+                            started_at=now,
+                            finished_at=now,
+                            cost=0.0,
+                            cold_starts=0,
+                            warm_starts=0,
+                            coalesced_group=group,
+                            tenant=query.tenant,
+                            outcome="shed",
+                            attempts=0,
+                            failure_reason="deadline_exceeded",
+                        )
+                    )
+                return
+
+            retry = chaos.retry
+            attempt = 1
+            dispatch_at = now
+            aborted_cost = 0.0
+            outcomes = None
+            error: Optional[CloudError] = None
+            while True:
+                token = self.backend.attempt_begin()
+                try:
+                    outcomes = self.backend.execute_batch(list(unit), at_time=dispatch_at)
+                    break
+                except CloudError as caught:
+                    # The aborted attempt's bills stay in the ledger; surface
+                    # them on the records too (partial billing).
+                    aborted_cost += self.backend.attempt_abort(token)
+                    error = caught
+                    retry_at = None
+                    if retry is not None and retry.should_retry(caught, attempt):
+                        candidate = dispatch_at + retry.backoff_seconds(
+                            attempt, token=leader.query_id
+                        )
+                        # Don't re-dispatch past the deadline: the retried
+                        # query could never finish in time anyway.
+                        if deadline is None or candidate - leader.arrival_time <= deadline:
+                            retry_at = candidate
+                    if retry_at is None:
+                        break
+                    dispatch_at = retry_at
+                    attempt += 1
+
+            shares = _split_cost(aborted_cost, unit)
+            if outcomes is None:
+                # Permanent failure: record it with the partial billing and
+                # let the slot go through the normal completion event.
+                assert error is not None
+                reason = type(error).__name__
+                for query, share in zip(unit, shares):
+                    records.append(
+                        QueryRecord(
+                            query_id=query.query_id,
+                            neurons=query.neurons,
+                            samples=query.samples,
+                            arrival_time=query.arrival_time,
+                            started_at=now,
+                            finished_at=dispatch_at,
+                            cost=share,
+                            cold_starts=0,
+                            warm_starts=0,
+                            coalesced_group=group,
+                            tenant=query.tenant,
+                            outcome="failed",
+                            attempts=attempt,
+                            failure_reason=reason,
+                        )
+                    )
+                in_flight += 1
+                heapq.heappush(events, (dispatch_at, _COMPLETION, seq, None))
+                seq += 1
+                return
+
+            finished = dispatch_at + outcomes[0].latency_seconds
+            for query, outcome, share in zip(unit, outcomes, shares):
+                if outcome.channel_stats is not None:
+                    channel_total.accumulate(outcome.channel_stats)
+                records.append(
+                    QueryRecord(
+                        query_id=query.query_id,
+                        neurons=query.neurons,
+                        samples=query.samples,
+                        arrival_time=query.arrival_time,
+                        started_at=now,
+                        finished_at=dispatch_at + outcome.latency_seconds,
+                        cost=outcome.cost + share,
+                        cold_starts=outcome.cold_starts,
+                        warm_starts=outcome.warm_starts,
+                        coalesced_group=group,
+                        tenant=query.tenant,
+                        outcome="completed",
+                        attempts=attempt,
+                    )
+                )
+            in_flight += 1
+            heapq.heappush(events, (finished, _COMPLETION, seq, None))
+            seq += 1
+
         def admit(now: float) -> None:
             nonlocal in_flight, seq
             while pending:
@@ -384,6 +634,9 @@ class InferenceServer:
                 if limit is not None and in_flight >= limit:
                     break
                 unit = pending.popleft()
+                if chaos is not None:
+                    run_resilient(unit, now)
+                    continue
                 outcomes = self.backend.execute_batch(list(unit), at_time=now)
                 finished = now + outcomes[0].latency_seconds
                 group = tuple(query.query_id for query in unit) if len(unit) > 1 else ()
@@ -437,6 +690,8 @@ class InferenceServer:
             admit(now)
 
         cost = self.backend.finish()
+        if chaos is not None:
+            self.backend.clear_chaos()
         return ServingReport(
             backend=self.backend.name,
             config=self.config,
@@ -448,4 +703,5 @@ class InferenceServer:
             ),
             peak_concurrent_workers=peak_overlap(self.backend.worker_intervals()),
             channel_stats=channel_total,
+            fault_counts=dict(injector.injected_counts) if injector is not None else {},
         )
