@@ -19,15 +19,24 @@ record is policy-tagged -- its ``simulated`` block gains ``policies``,
 ``coalesced_query_count`` and ``execution_count`` keys -- so it is never
 confused with the policy-free fingerprint, which must stay bit-identical.
 
+``--scale`` switches to the vectorized-replay sweep: Poisson day traces up
+to a million queries replayed through the columnar event core with outcome
+memoisation on, recorded as a queries/second trajectory (with the exact
+loop's q/s measured on a downsampled head).  Every row asserts the fast
+path's head summary is bit-identical to the exact loop's under the same
+cache setting; the full sweep additionally asserts the million-query replay
+beats the exact loop by >= 100x.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--label NAME]
-        [--coalesce-window SECONDS]
+        [--coalesce-window SECONDS] [--scale]
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 import time
@@ -46,6 +55,7 @@ from common import (  # noqa: E402
     serving_bench_workloads,
     serving_fsd_backend,
     serving_grid,
+    serving_scale_plan,
     worker_memory_for,
 )
 
@@ -121,18 +131,126 @@ def _fmt_latency(value) -> str:
     return "n/a" if value is None else f"{value:.3f}s"
 
 
+# -- the --scale sweep ---------------------------------------------------------
+
+
+def _summary_digest(summary: dict) -> str:
+    canonical = json.dumps(summary, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _scale_serve(quick: bool, workload, *, replay_mode: str, outcome_cache: bool):
+    """One timed serve on a fresh backend; returns (summary, wall_seconds)."""
+    backend = serving_fsd_backend(serving_bench_workloads(quick))
+    server = InferenceServer(
+        backend, ServingConfig(replay_mode=replay_mode, outcome_cache=outcome_cache)
+    )
+    start = time.perf_counter()
+    report = server.serve(workload)
+    wall = time.perf_counter() - start
+    return report.summary(), wall
+
+
+def _scale_row(quick: bool, num_queries: int, head_queries: int) -> dict:
+    """One --scale sweep row: build, exact head baseline, fast-path replay.
+
+    The exact loop replays tens of queries per second, so its baseline is
+    measured on a downsampled head and reported as queries/second -- the
+    same unit the fast path reports over the full trace.  The row also
+    re-serves the head through both cores with identical cache settings and
+    asserts the summaries are bit-identical (the fast path is a replay
+    *implementation*, never a semantics change).
+    """
+    neurons, batch_size, _ = serving_grid(quick)
+
+    build_start = time.perf_counter()
+    workload = generate_sporadic_workload(
+        daily_samples=num_queries * batch_size,
+        batch_size=batch_size,
+        neuron_counts=neurons,
+        seed=SERVING_SEED,
+    )
+    build_seconds = time.perf_counter() - build_start
+    head = workload.head(head_queries)
+
+    # Exact-loop baseline on the head (cache off: the historical replay path).
+    _, exact_wall = _scale_serve(quick, head, replay_mode="exact", outcome_cache=False)
+    exact_qps = head.num_queries / exact_wall
+
+    # Bit-identity gate: both cores over the head, same cache setting.
+    exact_summary, _ = _scale_serve(quick, head, replay_mode="exact", outcome_cache=True)
+    fast_summary, _ = _scale_serve(quick, head, replay_mode="columnar", outcome_cache=True)
+    if fast_summary != exact_summary:
+        diff = {
+            key: (fast_summary.get(key), exact_summary.get(key))
+            for key in set(fast_summary) | set(exact_summary)
+            if fast_summary.get(key) != exact_summary.get(key)
+        }
+        raise RuntimeError(
+            f"fast-path summary diverged from the exact loop on the "
+            f"{head.num_queries}-query head; differing keys: {diff}"
+        )
+
+    # The fast path over the full trace: columnar event core + outcome cache.
+    full_summary, fast_wall = _scale_serve(
+        quick, workload, replay_mode="columnar", outcome_cache=True
+    )
+    fast_qps = workload.num_queries / fast_wall
+
+    return {
+        "num_queries": workload.num_queries,
+        "batch_size": batch_size,
+        "neurons": list(neurons),
+        "build_seconds": build_seconds,
+        "exact_head_queries": head.num_queries,
+        "exact_head_wall_seconds": exact_wall,
+        "exact_queries_per_second": exact_qps,
+        "fast_wall_seconds": fast_wall,
+        "fast_queries_per_second": fast_qps,
+        "speedup": fast_qps / exact_qps,
+        "head_bit_identical": True,
+        "summary_digest": _summary_digest(full_summary),
+        "cost_total": full_summary["cost_total"],
+        "p95_latency_seconds": full_summary["p95_latency_seconds"],
+    }
+
+
+def _scale_sweep(quick: bool) -> dict:
+    sizes, head_queries = serving_scale_plan(quick)
+    rows = [_scale_row(quick, size, head_queries) for size in sizes]
+    sweep = {"head_queries": head_queries, "rows": rows}
+    if not quick:
+        # Acceptance gate: the million-query day must beat the exact loop by
+        # two orders of magnitude in queries/second.
+        largest = rows[-1]
+        if largest["speedup"] < 100.0:
+            raise RuntimeError(
+                f"--scale speedup regression: {largest['num_queries']}-query replay "
+                f"ran at {largest['fast_queries_per_second']:.0f} q/s, only "
+                f"{largest['speedup']:.1f}x the exact loop (need >= 100x)"
+            )
+    return sweep
+
+
 def run(
     quick: bool = False,
     label: str | None = None,
     coalesce_window: float | None = None,
+    scale: bool = False,
 ) -> dict:
     record = {
         "label": label or git_rev(),
         "git_rev": git_rev(),
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick": quick,
-        "replay": _replay(quick, coalesce_window),
     }
+    # --scale records carry a "scale" trajectory instead of a "replay" block,
+    # so fingerprint consumers (bench_campaign/bench_planner reference checks,
+    # which match on label + replay.simulated) never confuse the two.
+    if scale:
+        record["scale"] = _scale_sweep(quick)
+    else:
+        record["replay"] = _replay(quick, coalesce_window)
 
     history = {"records": []}
     if RESULT_PATH.exists():
@@ -142,6 +260,20 @@ def run(
             pass
     history.setdefault("records", []).append(record)
     RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    if scale:
+        sweep = record["scale"]
+        print(f"serving scale sweep -- label={record['label']} rev={record['git_rev']}")
+        for row in sweep["rows"]:
+            print(
+                f"  {row['num_queries']:>9} queries: fast path "
+                f"{row['fast_queries_per_second']:.0f} q/s "
+                f"({row['fast_wall_seconds']:.2f}s wall), exact loop "
+                f"{row['exact_queries_per_second']:.1f} q/s on a "
+                f"{row['exact_head_queries']}-query head -> {row['speedup']:.0f}x; "
+                f"head summaries bit-identical, digest {row['summary_digest']}"
+            )
+        return record
 
     replay = record["replay"]
     simulated = replay["simulated"]
@@ -178,8 +310,22 @@ def main() -> None:
         metavar="SECONDS",
         help="enable BatchCoalescingPolicy with this window (policy-tagged record)",
     )
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the vectorized-replay scale sweep (queries/second trajectory; "
+        "full mode ends on a million-query day and asserts >= 100x over the "
+        "exact loop)",
+    )
     args = parser.parse_args()
-    run(quick=args.quick, label=args.label, coalesce_window=args.coalesce_window)
+    if args.scale and args.coalesce_window is not None:
+        parser.error("--scale replays policy-free traces; drop --coalesce-window")
+    run(
+        quick=args.quick,
+        label=args.label,
+        coalesce_window=args.coalesce_window,
+        scale=args.scale,
+    )
 
 
 if __name__ == "__main__":

@@ -272,11 +272,30 @@ SERVING_WORKERS = 4
 SERVING_SEED = 29
 
 
+#: ``--scale`` trace sizes (query counts) for the vectorized replay sweep.
+#: The full sweep ends on a million-query Poisson day; quick mode (the CI
+#: smoke) replays one ~100k-query trace.
+SERVING_SCALE_SIZES_FULL = (10_000, 100_000, 1_000_000)
+SERVING_SCALE_SIZES_QUICK = (100_000,)
+#: queries in the downsampled head used for the exact-loop baseline + the
+#: bit-identity check (the exact loop replays ~tens of queries per second,
+#: so the baseline is measured on a head and reported as queries/second).
+SERVING_SCALE_HEAD_FULL = 128
+SERVING_SCALE_HEAD_QUICK = 64
+
+
 def serving_grid(quick: bool) -> Tuple[Tuple[int, ...], int, int]:
     """(neuron counts, batch size, query count) of the serving benchmarks."""
     if quick:
         return SERVING_QUICK_NEURONS, SERVING_QUICK_BATCH, SERVING_QUICK_QUERIES
     return SERVING_FULL_NEURONS, SERVING_FULL_BATCH, SERVING_FULL_QUERIES
+
+
+def serving_scale_plan(quick: bool) -> Tuple[Tuple[int, ...], int]:
+    """(trace sizes, exact-head query count) of the ``--scale`` sweep."""
+    if quick:
+        return SERVING_SCALE_SIZES_QUICK, SERVING_SCALE_HEAD_QUICK
+    return SERVING_SCALE_SIZES_FULL, SERVING_SCALE_HEAD_FULL
 
 
 def serving_bench_workloads(quick: bool) -> Dict[int, BenchWorkload]:

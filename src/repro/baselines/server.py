@@ -21,8 +21,9 @@ illustrates.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -110,8 +111,26 @@ def model_load_bytes(model: SparseDNN) -> int:
     return model.nbytes()
 
 
+#: flop-count memo for :func:`_forward_flops`.  Counting the flops of a
+#: forward pass requires *running* the forward pass (the per-layer nnz after
+#: ReLU/thresholding depends on the data), which dominates the cost of a
+#: server-baseline query.  The count is a pure function of (model, batch), so
+#: repeated replays of the same pair -- every warm query of a serving trace --
+#: reuse it.  Keys are object identities; the memo pins both objects so a
+#: recycled ``id`` can never alias a dead entry.
+_FORWARD_FLOPS_MEMO: "OrderedDict[Tuple[int, int], Tuple[SparseDNN, sparse.spmatrix, float]]" = (
+    OrderedDict()
+)
+_FORWARD_FLOPS_MEMO_LIMIT = 128
+
+
 def _forward_flops(model: SparseDNN, batch: sparse.spmatrix) -> float:
     """Total floating point work of a full forward pass over ``batch``."""
+    key = (id(model), id(batch))
+    cached = _FORWARD_FLOPS_MEMO.get(key)
+    if cached is not None and cached[0] is model and cached[1] is batch:
+        _FORWARD_FLOPS_MEMO.move_to_end(key)
+        return cached[2]
     activations = as_csr(batch)
     total = 0.0
     for weight, bias in zip(model.weights, model.biases):
@@ -125,6 +144,9 @@ def _forward_flops(model: SparseDNN, batch: sparse.spmatrix) -> float:
             np.minimum(pre.data, model.activation_cap, out=pre.data)
         pre.eliminate_zeros()
         activations = pre
+    _FORWARD_FLOPS_MEMO[key] = (model, batch, total)
+    while len(_FORWARD_FLOPS_MEMO) > _FORWARD_FLOPS_MEMO_LIMIT:
+        _FORWARD_FLOPS_MEMO.popitem(last=False)
     return total
 
 

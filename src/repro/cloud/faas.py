@@ -55,6 +55,7 @@ __all__ = [
     "FunctionConfig",
     "FunctionInvocation",
     "FaaSPlatform",
+    "claim_from_pool",
     "MIN_MEMORY_MB",
     "MAX_MEMORY_MB",
     "MAX_TIMEOUT_SECONDS",
@@ -204,6 +205,34 @@ class FunctionInvocation:
         return self.runtime_seconds
 
 
+def claim_from_pool(
+    pool: List[float], request_time: float, keepalive: Optional[float]
+) -> bool:
+    """Take one idle execution environment from ``pool``, if the timeline allows.
+
+    The platform's warm-claim rule, factored out so the serving layer's
+    replay cache can re-run recorded claim patterns against pool *copies*:
+    with no keepalive any previously freed environment is reusable (legacy
+    private-timeline rule); with a keepalive, expired entries are evicted in
+    place and the most recently freed qualifying environment is claimed
+    (LIFO, as real FaaS platforms reuse).
+    """
+    if not pool:
+        return False
+    if keepalive is None:
+        pool.pop()
+        return True
+    pool[:] = [freed_at for freed_at in pool if request_time - freed_at <= keepalive]
+    best = -1
+    for index, freed_at in enumerate(pool):
+        if freed_at <= request_time and (best < 0 or freed_at > pool[best]):
+            best = index
+    if best < 0:
+        return False
+    pool.pop(best)
+    return True
+
+
 @dataclass
 class InvocationRecord:
     """Summary of a completed invocation, kept for reporting and tests."""
@@ -247,6 +276,9 @@ class FaaSPlatform:
         self._active_invocations = 0
         self._next_invocation_id = 0
         self.invocation_records: List[InvocationRecord] = []
+        #: when set (by the serving replay cache), every warm-pool claim and
+        #: free is appended as an event tuple so outcomes can be replayed.
+        self.replay_log: Optional[List[tuple]] = None
 
     # -- control plane ---------------------------------------------------------
 
@@ -324,6 +356,8 @@ class FaaSPlatform:
             cold = force_cold
             if not cold:
                 self._claim_warm_environment(name, request_time)
+        if self.replay_log is not None:
+            self.replay_log.append(("claim", name, request_time, cold))
 
         startup = self.latency.faas_startup(cold, config.memory_mb + config.package_mb)
         invocation = FunctionInvocation(
@@ -373,21 +407,9 @@ class FaaSPlatform:
         environment is claimed (LIFO, as real FaaS platforms reuse).
         """
         pool = self._warm_environments.get(name)
-        if not pool:
+        if pool is None:
             return False
-        keepalive = self.warm_keepalive_seconds
-        if keepalive is None:
-            pool.pop()
-            return True
-        pool[:] = [freed_at for freed_at in pool if request_time - freed_at <= keepalive]
-        best = -1
-        for index, freed_at in enumerate(pool):
-            if freed_at <= request_time and (best < 0 or freed_at > pool[best]):
-                best = index
-        if best < 0:
-            return False
-        pool.pop(best)
-        return True
+        return claim_from_pool(pool, request_time, self.warm_keepalive_seconds)
 
     # -- bookkeeping ------------------------------------------------------------------
 
@@ -404,6 +426,8 @@ class FaaSPlatform:
             self._warm_environments.setdefault(invocation.function_name, []).append(
                 ended_at
             )
+            if self.replay_log is not None:
+                self.replay_log.append(("free", invocation.function_name, ended_at))
         gb_seconds = (invocation.config.memory_mb / 1024.0) * invocation.runtime_seconds
         cost = (
             self.prices.faas_price_per_invocation

@@ -83,6 +83,14 @@ class CellResult:
     #: simulated-fingerprint payload ``bench_serving.py`` records, untouched.
     summary: Dict[str, object]
     wall_seconds: float
+    #: whether the campaign replayed this cell with outcome memoisation on.
+    #: Cached replays time-translate recorded outcomes, which drifts floats
+    #: at the ~1e-12 level, so the flag joins the fingerprint payload -- but
+    #: only when ``True``, keeping every historical fingerprint byte-stable.
+    #: The *columnar* fast path is bit-identical to the exact loop and is
+    #: deliberately NOT part of the cell identity: a columnar replay of an
+    #: uncached cell must reproduce the exact loop's fingerprint.
+    outcome_cache: bool = False
 
     # -- derived metrics -------------------------------------------------------
 
@@ -134,6 +142,10 @@ class CellResult:
         # Chaos-free cells keep their historical hash input byte-for-byte.
         if self.cell.chaos != "none":
             payload["chaos"] = self.cell.chaos
+        # Same pattern for memoised replays: cache-off cells (the default)
+        # keep their historical hash input untouched.
+        if self.outcome_cache:
+            payload["outcome_cache"] = True
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -150,6 +162,8 @@ class CellResult:
         }
         if self.cell.chaos != "none":
             exported["chaos"] = self.cell.chaos
+        if self.outcome_cache:
+            exported["outcome_cache"] = True
         return exported
 
 
@@ -286,6 +300,8 @@ class Campaign:
         policy_sets: Optional[Mapping[str, PolicyFactory]] = None,
         max_concurrent_queries: Optional[int] = None,
         chaos_sets: Optional[Mapping[str, Optional[ChaosConfig]]] = None,
+        replay_mode: str = "exact",
+        outcome_cache: bool = False,
     ):
         if isinstance(scenarios, Mapping):
             self.scenarios: Dict[str, object] = dict(scenarios)
@@ -317,6 +333,19 @@ class Campaign:
         )
         if not self.chaos_sets:
             raise ValueError("a campaign needs at least one chaos set")
+        # Replay-speed knobs, threaded into every cell's ServingConfig.
+        # ``replay_mode`` picks the event core ("exact", "auto"/"columnar"
+        # fast path, or the "fluid" analytic approximation); ``outcome_cache``
+        # memoises whole executions across a cell's repeated (model, batch)
+        # fingerprints.  Both default off so historical campaign fingerprints
+        # replay unchanged; chaos cells always fall back to the exact loop.
+        self.replay_mode = str(replay_mode)
+        if self.replay_mode not in ("exact", "auto", "columnar", "fluid"):
+            raise ValueError(
+                "replay_mode must be one of 'exact', 'auto', 'columnar', 'fluid'; "
+                f"got {self.replay_mode!r}"
+            )
+        self.outcome_cache = bool(outcome_cache)
 
     def cells(self) -> List[CampaignCell]:
         """The grid in deterministic scenario-major order."""
@@ -357,12 +386,19 @@ class Campaign:
                 max_concurrent_queries=self.max_concurrent_queries,
                 policies=policies,
                 chaos=chaos,
+                replay_mode=self.replay_mode,
+                outcome_cache=self.outcome_cache,
             ),
         )
         start = time.perf_counter()
         report = server.serve(workload)
         wall_seconds = time.perf_counter() - start
-        return CellResult(cell=cell, summary=report.summary(), wall_seconds=wall_seconds)
+        return CellResult(
+            cell=cell,
+            summary=report.summary(),
+            wall_seconds=wall_seconds,
+            outcome_cache=self.outcome_cache,
+        )
 
     def run(
         self,

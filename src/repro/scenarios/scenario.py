@@ -78,28 +78,41 @@ def build_scenario_workload(
         [len(sizes) for _, sizes in populated], horizon_seconds, rng
     )
 
-    queries: List[InferenceQuery] = []
-    query_id = 0
-    for (neurons, sizes), arrivals in zip(populated, arrival_arrays):
+    for (_, sizes), arrivals in zip(populated, arrival_arrays):
         if len(arrivals) != len(sizes):
             raise ValueError(
                 f"process {process.name!r} returned {len(arrivals)} arrivals for a "
                 f"population of {len(sizes)} queries"
             )
-        for size, arrival in zip(sizes, arrivals):
-            queries.append(
-                InferenceQuery(
-                    query_id=query_id,
-                    arrival_time=float(arrival),
-                    neurons=neurons,
-                    samples=int(size),
-                    tenant=tenant,
-                )
-            )
-            query_id += 1
+    if not populated:
+        return SporadicWorkload.from_queries([], horizon_seconds=horizon_seconds)
 
-    queries.sort(key=lambda q: q.arrival_time)
-    queries = [replace(q, query_id=i) for i, q in enumerate(queries)]
+    # Columnar construction: concatenate each size group's arrival draw and
+    # per-query sizes, stable-sort once by arrival time (ties keep the
+    # model-size construction order, exactly like the old per-object stable
+    # sort over sequential ids), and build each query directly with its
+    # final id -- byte-identical to the old build-sort-renumber loop.
+    arrival_column = np.concatenate(arrival_arrays).astype(np.float64, copy=False)
+    neuron_column = np.concatenate(
+        [np.full(len(sizes), neurons, dtype=np.int64) for neurons, sizes in populated]
+    )
+    sample_column = np.concatenate(
+        [np.asarray(sizes, dtype=np.int64) for _, sizes in populated]
+    )
+    order = np.argsort(arrival_column, kind="stable")
+    arrivals_sorted = arrival_column[order].tolist()
+    neurons_sorted = neuron_column[order].tolist()
+    samples_sorted = sample_column[order].tolist()
+    queries = [
+        InferenceQuery(
+            query_id=index,
+            arrival_time=arrivals_sorted[index],
+            neurons=neurons_sorted[index],
+            samples=samples_sorted[index],
+            tenant=tenant,
+        )
+        for index in range(len(arrivals_sorted))
+    ]
     return SporadicWorkload.from_queries(queries, horizon_seconds=horizon_seconds)
 
 
@@ -198,8 +211,14 @@ class MixtureScenario:
         for component, tenant in zip(self.components, self.tenants):
             workload = component.build()
             queries.extend(replace(query, tenant=tenant) for query in workload.queries)
-        queries.sort(key=lambda q: q.arrival_time)
-        queries = [replace(q, query_id=i) for i, q in enumerate(queries)]
+        # Stable argsort over the arrival column replaces the per-object sort;
+        # ties keep component order (components are concatenated in declaration
+        # order, each already arrival-sorted), matching the old stable sort.
+        arrivals = np.fromiter(
+            (query.arrival_time for query in queries), np.float64, count=len(queries)
+        )
+        order = np.argsort(arrivals, kind="stable")
+        queries = [replace(queries[j], query_id=i) for i, j in enumerate(order.tolist())]
         return SporadicWorkload.from_queries(queries, horizon_seconds=self.horizon_seconds)
 
     def describe(self) -> Dict[str, object]:

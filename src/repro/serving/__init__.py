@@ -32,6 +32,14 @@ from .policies import (
     QueueDepthAutoscaler,
     SchedulingPolicy,
 )
+from .replaycore import (
+    LazyRecordList,
+    OutcomeCacheMixin,
+    ReplayOutcomeCache,
+    ReportColumns,
+    batch_fingerprint,
+    peak_overlap_arrays,
+)
 from .server import (
     InferenceServer,
     QueryRecord,
@@ -60,6 +68,12 @@ __all__ = [
     "HoldDecision",
     "QueueDepthAutoscaler",
     "SchedulingPolicy",
+    "LazyRecordList",
+    "OutcomeCacheMixin",
+    "ReplayOutcomeCache",
+    "ReportColumns",
+    "batch_fingerprint",
+    "peak_overlap_arrays",
     "InferenceServer",
     "QueryRecord",
     "ServingConfig",

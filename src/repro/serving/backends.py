@@ -50,6 +50,7 @@ from ..workloads import (
     generate_input_batch,
     merge_queries,
 )
+from .replaycore import OutcomeCacheMixin
 
 __all__ = [
     "QueryWorkloadFactory",
@@ -178,9 +179,15 @@ class ServingBackend(ABC):
 
     name: str = "backend"
     factory: QueryWorkloadFactory
+    #: True on backends mixing in Tier-A outcome memoisation
+    #: (:class:`~repro.serving.replaycore.OutcomeCacheMixin`).
+    supports_outcome_cache: bool = False
 
     def begin(self, workload: SporadicWorkload) -> None:
         """Called once before replay starts (checkpoints, standing bills)."""
+
+    def set_outcome_caching(self, enabled: bool) -> None:
+        """Toggle Tier-A outcome memoisation (no-op without the mixin)."""
 
     # -- chaos hooks ---------------------------------------------------------
     #
@@ -264,14 +271,19 @@ class ServingBackend(ABC):
         return []
 
 
-class FSDServingBackend(ServingBackend):
+class FSDServingBackend(OutcomeCacheMixin, ServingBackend):
     """FSD-Inference on the shared simulated cloud.
 
     Engines, partition plans and staged payloads are cached per neuron
     count, so only the first query of each model size pays planning; the
     FaaS warm pool (time-gated via ``warm_keepalive_seconds``) decides
-    cold/warm starts from the actual gaps between invocations.
+    cold/warm starts from the actual gaps between invocations.  With the
+    outcome cache enabled, whole executions replay from recorded deltas
+    when their cold/warm claim pattern reproduces on the live pool
+    (``cache_claims``).
     """
+
+    cache_claims = True
 
     def __init__(
         self,
@@ -321,7 +333,7 @@ class FSDServingBackend(ServingBackend):
         if self.warm_keepalive_seconds is not None and self._saved_keepalive is None:
             self.cloud.faas.warm_keepalive_seconds = self.warm_keepalive_seconds
 
-    def _execute(
+    def _execute_real(
         self,
         query: InferenceQuery,
         model: SparseDNN,
@@ -373,7 +385,7 @@ class FSDServingBackend(ServingBackend):
         return [(record.started_at, record.finished_at) for record in records]
 
 
-class ServerServingBackend(ServingBackend):
+class ServerServingBackend(OutcomeCacheMixin, ServingBackend):
     """The server baselines behind the shared scheduler.
 
     Job-scoped mode provisions (and bills) an instance per query; the
@@ -412,7 +424,10 @@ class ServerServingBackend(ServingBackend):
                 **fleet_kwargs,
             )
 
-    def _execute(
+    def _on_cached_outcome(self, outcome: QueryOutcome, at_time: float) -> None:
+        self._intervals.append((at_time, at_time + outcome.latency_seconds))
+
+    def _execute_real(
         self,
         query: InferenceQuery,
         model: SparseDNN,
@@ -443,7 +458,7 @@ class ServerServingBackend(ServingBackend):
         return list(self._intervals)
 
 
-class EndpointServingBackend(ServingBackend):
+class EndpointServingBackend(OutcomeCacheMixin, ServingBackend):
     """The managed serverless endpoint behind the shared scheduler."""
 
     def __init__(
@@ -463,7 +478,10 @@ class EndpointServingBackend(ServingBackend):
         self._ledger_checkpoint = self.cloud.billing_checkpoint()
         self._intervals = []
 
-    def _execute(
+    def _on_cached_outcome(self, outcome: QueryOutcome, at_time: float) -> None:
+        self._intervals.append((at_time, at_time + outcome.latency_seconds))
+
+    def _execute_real(
         self,
         query: InferenceQuery,
         model: SparseDNN,
@@ -486,7 +504,7 @@ class EndpointServingBackend(ServingBackend):
         return list(self._intervals)
 
 
-class HPCServingBackend(ServingBackend):
+class HPCServingBackend(OutcomeCacheMixin, ServingBackend):
     """H-SpFF on the shared scheduler (latency only; the paper has no cost)."""
 
     def __init__(
@@ -507,7 +525,10 @@ class HPCServingBackend(ServingBackend):
     def begin(self, workload: SporadicWorkload) -> None:
         self._intervals = []
 
-    def _execute(
+    def _on_cached_outcome(self, outcome: QueryOutcome, at_time: float) -> None:
+        self._intervals.append((at_time, at_time + outcome.latency_seconds))
+
+    def _execute_real(
         self,
         query: InferenceQuery,
         model: SparseDNN,

@@ -124,10 +124,26 @@ class ServingConfig:
     #: it (:class:`~repro.chaos.ChaosConfig`).  ``None`` -- the default --
     #: replays the exact fault-free loop; no injector is ever installed.
     chaos: Optional[ChaosConfig] = None
+    #: opt into Tier-A whole-execution outcome memoisation
+    #: (:mod:`repro.serving.replaycore`).  Off by default: replayed deltas
+    #: are time-translated, which is exact only to ~1e-12 relative, so every
+    #: historical fingerprint is produced with the cache off.  Chaos serves
+    #: always bypass the cache regardless of this flag.
+    outcome_cache: bool = False
+    #: replay strategy: ``"exact"`` (the event loop, default), ``"auto"`` or
+    #: ``"columnar"`` (Tier-B numpy fast path when no policies/chaos/bound
+    #: are configured, exact loop otherwise), ``"fluid"`` (Tier-C analytic
+    #: approximation; summaries are tagged).
+    replay_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.max_concurrent_queries is not None and self.max_concurrent_queries < 1:
             raise ValueError("max_concurrent_queries must be at least 1 (or None)")
+        if self.replay_mode not in ("exact", "auto", "columnar", "fluid"):
+            raise ValueError(
+                f"replay_mode must be one of 'exact', 'auto', 'columnar', 'fluid'; "
+                f"got {self.replay_mode!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -196,6 +212,18 @@ class ServingReport:
     #: per-fault-class injection counts from the chaos injector (empty on a
     #: chaos-off replay).
     fault_counts: Dict[str, int] = field(default_factory=dict)
+    #: structured per-query columns when the report came off a fast-path
+    #: serve (:class:`~repro.serving.replaycore.ReportColumns`); aggregates
+    #: below read the arrays directly instead of materialising records.
+    columns: Optional[object] = field(default=None, repr=False, compare=False)
+    #: which replay tier produced this report (``None``/"exact" for the
+    #: event loop); only ``"fluid"`` changes the summary fingerprint.
+    replay_mode: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        # sorted-latency memo: (record count, ascending latency array); the
+        # count keys invalidation, since records only ever change by length.
+        self._latency_memo: Optional[Tuple[int, np.ndarray]] = None
 
     # -- aggregates -----------------------------------------------------------
 
@@ -205,24 +233,34 @@ class ServingReport:
 
     @property
     def total_samples(self) -> int:
+        if self.columns is not None:
+            return int(self.columns.samples.sum())
         return sum(record.samples for record in self.records)
 
     @property
     def cold_start_count(self) -> int:
+        if self.columns is not None:
+            return int(self.columns.cold.sum())
         return sum(record.cold_starts for record in self.records)
 
     @property
     def warm_start_count(self) -> int:
+        if self.columns is not None:
+            return int(self.columns.warm.sum())
         return sum(record.warm_starts for record in self.records)
 
     @property
     def coalesced_query_count(self) -> int:
         """Queries that executed inside a merged batch."""
+        if self.columns is not None:
+            return 0  # the fast path never runs under a coalescing policy
         return sum(1 for record in self.records if record.was_coalesced)
 
     @property
     def execution_count(self) -> int:
         """Backend executions performed (merged batches count once)."""
+        if self.columns is not None:
+            return len(self.records)
         groups = {record.coalesced_group for record in self.records if record.was_coalesced}
         solo = sum(1 for record in self.records if not record.was_coalesced)
         return solo + len(groups)
@@ -232,9 +270,31 @@ class ServingReport:
         """From the first arrival to the last completion."""
         if not self.records:
             return 0.0
+        if self.columns is not None:
+            return float(self.columns.finished.max() - self.columns.arrival.min())
         first = min(record.arrival_time for record in self.records)
         last = max(record.finished_at for record in self.records)
         return last - first
+
+    def _latency_values(self) -> np.ndarray:
+        if self.columns is not None:
+            return self.columns.latencies
+        return np.asarray([record.latency_seconds for record in self.records])
+
+    def sorted_latencies(self) -> np.ndarray:
+        """Ascending end-to-end latencies, memoised across percentile calls.
+
+        The memo is keyed on the record count -- records are append-only
+        value objects, so a length match means the distribution is unchanged
+        and re-sorting (the old per-call cost) can be skipped safely.
+        """
+        count = len(self.records)
+        memo = self._latency_memo
+        if memo is not None and memo[0] == count:
+            return memo[1]
+        values = np.sort(self._latency_values())
+        self._latency_memo = (count, values)
+        return values
 
     def latency_percentile(self, percentile: float) -> float:
         """Latency percentile over all records; ``nan`` for an empty report.
@@ -246,8 +306,7 @@ class ServingReport:
         """
         if not self.records:
             return float("nan")
-        latencies = np.asarray([record.latency_seconds for record in self.records])
-        return float(np.percentile(latencies, percentile))
+        return float(np.percentile(self.sorted_latencies(), percentile))
 
     @property
     def p50_latency_seconds(self) -> float:
@@ -265,14 +324,20 @@ class ServingReport:
 
     @property
     def completed_count(self) -> int:
+        if self.columns is not None:
+            return len(self.records)  # the fast path only runs chaos-free
         return sum(1 for record in self.records if record.outcome == "completed")
 
     @property
     def failed_count(self) -> int:
+        if self.columns is not None:
+            return 0
         return sum(1 for record in self.records if record.outcome == "failed")
 
     @property
     def shed_count(self) -> int:
+        if self.columns is not None:
+            return 0
         return sum(1 for record in self.records if record.outcome == "shed")
 
     def outcome_counts(self) -> Dict[str, int]:
@@ -301,6 +366,8 @@ class ServingReport:
     @property
     def retry_count(self) -> int:
         """Serving-level re-dispatches performed across all queries."""
+        if self.columns is not None:
+            return 0
         return sum(max(0, record.attempts - 1) for record in self.records)
 
     def failure_reasons(self) -> Dict[str, int]:
@@ -398,9 +465,18 @@ class ServingReport:
             summary["policies"] = [policy.describe() for policy in self.config.policies]
             summary["coalesced_query_count"] = self.coalesced_query_count
             summary["execution_count"] = self.execution_count
+        # Fluid replays are approximate by construction: tag them so their
+        # fingerprints can never shadow an exact one.  Exact and columnar
+        # replays add nothing, keeping historical fingerprints bit-for-bit.
+        if self.replay_mode == "fluid":
+            summary["replay_mode"] = "fluid"
         # Tenant pivot only when the workload actually carries tenant tags, so
         # untagged workloads keep their historical fingerprints bit-for-bit.
-        if any(record.tenant is not None for record in self.records):
+        if self.columns is not None:
+            has_tenants = self.columns.tenants is not None
+        else:
+            has_tenants = any(record.tenant is not None for record in self.records)
+        if has_tenants:
             summary["tenants"] = {
                 tenant if tenant is not None else "untagged": view
                 for tenant, view in sorted(
@@ -409,7 +485,9 @@ class ServingReport:
             }
         # Outcome breakdown only when some query did not complete (mirrors the
         # tenants-key rule: all-success replays keep historical fingerprints).
-        if any(record.outcome != "completed" for record in self.records):
+        if self.columns is None and any(
+            record.outcome != "completed" for record in self.records
+        ):
             summary["outcome_counts"] = self.outcome_counts()
         # Reliability block only on chaos-enabled serves.
         if self.config.chaos is not None:
@@ -466,6 +544,33 @@ class InferenceServer:
         self.config = config or ServingConfig()
 
     def serve(self, workload: SporadicWorkload) -> ServingReport:
+        """Replay every query of ``workload``.
+
+        Dispatches to the vectorized replay core
+        (:mod:`repro.serving.replaycore`) when the configuration opts in
+        (``replay_mode`` other than ``"exact"``) *and* the event loop would
+        degenerate to immediate admission -- no policies, no chaos, no
+        concurrency bound.  Everything else (and the default) runs the exact
+        event loop; chaos always does.
+        """
+        config = self.config
+        if (
+            config.replay_mode != "exact"
+            and config.chaos is None
+            and not config.policies
+            and config.max_concurrent_queries is None
+        ):
+            from . import replaycore
+
+            if config.replay_mode == "fluid":
+                report = replaycore.fluid_serve(self, workload)
+            else:
+                report = replaycore.columnar_serve(self, workload)
+            if report is not None:
+                return report
+        return self._serve_exact(workload)
+
+    def _serve_exact(self, workload: SporadicWorkload) -> ServingReport:
         """Replay every query of ``workload`` via the event loop.
 
         Events (completions, policy ticks, arrivals -- in that order at
@@ -482,6 +587,12 @@ class InferenceServer:
             injector = chaos.build_injector(workload.horizon_seconds)
             self.backend.install_chaos(injector, chaos.channel_retry)
         self.backend.begin(workload)
+        # Tier-A outcome memoisation is opt-in and chaos is its hard
+        # boundary: fault injection is time-positional, so a chaos serve
+        # must re-simulate every execution.
+        use_cache = self.config.outcome_cache and chaos is None
+        if use_cache:
+            self.backend.set_outcome_caching(True)
         policies = self.config.policies
         for policy in policies:
             policy.begin(workload)
@@ -662,34 +773,38 @@ class InferenceServer:
                 heapq.heappush(events, (finished, _COMPLETION, seq, None))
                 seq += 1
 
-        while events:
-            now, kind, _, payload = heapq.heappop(events)
-            if kind == _ARRIVAL:
-                assert payload is not None
-                decision = None
-                for policy in policies:
-                    decision = policy.on_arrival(payload, now)
-                    if decision is not None:
-                        break
-                if decision is None:
-                    pending.append((payload,))
-                elif decision.tick_at is not None:
-                    heapq.heappush(events, (decision.tick_at, _POLICY_TICK, seq, None))
-                    seq += 1
-            elif kind == _COMPLETION:
-                in_flight -= 1
-                for policy in policies:
-                    policy.on_completion(
-                        now, in_flight=in_flight, queue_depth=len(pending)
-                    )
-            else:  # policy tick
-                for policy in policies:
-                    for unit in policy.on_tick(now):
-                        if unit:
-                            pending.append(tuple(unit))
-            admit(now)
+        try:
+            while events:
+                now, kind, _, payload = heapq.heappop(events)
+                if kind == _ARRIVAL:
+                    assert payload is not None
+                    decision = None
+                    for policy in policies:
+                        decision = policy.on_arrival(payload, now)
+                        if decision is not None:
+                            break
+                    if decision is None:
+                        pending.append((payload,))
+                    elif decision.tick_at is not None:
+                        heapq.heappush(events, (decision.tick_at, _POLICY_TICK, seq, None))
+                        seq += 1
+                elif kind == _COMPLETION:
+                    in_flight -= 1
+                    for policy in policies:
+                        policy.on_completion(
+                            now, in_flight=in_flight, queue_depth=len(pending)
+                        )
+                else:  # policy tick
+                    for policy in policies:
+                        for unit in policy.on_tick(now):
+                            if unit:
+                                pending.append(tuple(unit))
+                admit(now)
 
-        cost = self.backend.finish()
+            cost = self.backend.finish()
+        finally:
+            if use_cache:
+                self.backend.set_outcome_caching(False)
         if chaos is not None:
             self.backend.clear_chaos()
         return ServingReport(
