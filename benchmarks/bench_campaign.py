@@ -132,13 +132,17 @@ def _backend_factories(quick: bool) -> dict:
     factories = {
         # Identical substrate to bench_serving (shared via common.py): the
         # Poisson cell's summary must reproduce that bench's fingerprint.
+        # detlint: allow[DET006] thread-executor bench; process campaigns use the Spec factories
         "fsd": lambda: serving_fsd_backend(workloads),
+        # detlint: allow[DET006] thread-executor bench; process campaigns use the Spec factories
         "server-job": lambda: ServerServingBackend(
             scaled_cloud(), ServerMode.JOB_SCOPED, factory()
         ),
     }
     if not quick:
+        # detlint: allow[DET006] thread-executor bench; process campaigns use the Spec factories
         factories["endpoint"] = lambda: EndpointServingBackend(scaled_cloud(), factory())
+        # detlint: allow[DET006] thread-executor bench; process campaigns use the Spec factories
         factories["hpc-4"] = lambda: HPCServingBackend(4, factory(), latency=scaled_latency())
     return factories
 
@@ -148,6 +152,7 @@ def _policy_sets(quick: bool) -> dict:
     if not quick:
         # Exercises the SLO-capped coalescing window and the hysteretic
         # autoscaler across the whole grid (policy-tagged fingerprints).
+        # detlint: allow[DET006] thread-executor bench; process campaigns use PolicySetSpec
         sets["slo-coalesce"] = lambda: (
             BatchCoalescingPolicy(window_seconds=1800.0, max_hold_seconds=900.0),
             QueueDepthAutoscaler(

@@ -104,9 +104,11 @@ def _search_space(quick: bool) -> SearchSpace:
             batch_builder=serving_batch_builder(workloads),
         )
 
+    # detlint: allow[DET006] thread-executor bench; process planner runs use the Spec factories
     backends = {"fsd": lambda: serving_fsd_backend(workloads)}
     knobs = {"coalesce_window_seconds": (0.0, 1800.0)}
     if not quick:
+        # detlint: allow[DET006] thread-executor bench; process planner runs use the Spec factories
         backends["server-job"] = lambda: ServerServingBackend(
             scaled_cloud(), ServerMode.JOB_SCOPED, factory()
         )

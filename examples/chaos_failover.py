@@ -76,11 +76,13 @@ def main() -> None:
     backends = {
         # QUEUE variant so the storm's transient queue faults actually land
         # on channel traffic (the serial variant has none).
+        # detlint: allow[DET006] thread-executor example; process campaigns use the Spec factories
         "fsd-serverless": lambda: FSDServingBackend(
             CloudEnvironment(),
             factory(),
             config_for=lambda n: EngineConfig(variant=Variant.QUEUE, workers=2),
         ),
+        # detlint: allow[DET006] thread-executor example; process campaigns use the Spec factories
         "server-always-on": lambda: ServerServingBackend(
             CloudEnvironment(), ServerMode.ALWAYS_ON_HOT, factory()
         ),

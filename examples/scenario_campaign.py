@@ -78,11 +78,13 @@ def main() -> None:
         return QueryWorkloadFactory(model_builder=lambda n: models[n])
 
     backends = {
+        # detlint: allow[DET006] thread-executor example; process campaigns use the Spec factories
         "fsd-serial": lambda: FSDServingBackend(
             CloudEnvironment(),
             factory(),
             config_for=lambda n: EngineConfig(variant=Variant.SERIAL, workers=1),
         ),
+        # detlint: allow[DET006] thread-executor example; process campaigns use the Spec factories
         "server-job": lambda: ServerServingBackend(
             CloudEnvironment(), ServerMode.JOB_SCOPED, factory()
         ),

@@ -1,10 +1,52 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Package metadata for the FSD reproduction.
 
-The project is fully described by ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` can fall back to the legacy editable-install path on
-offline machines where PEP 660 wheel building is unavailable.
+There is no ``pyproject.toml`` in this repo; this file is the single source
+of packaging truth so ``pip install -e .`` works on offline machines where
+PEP 660 wheel building is unavailable.  The package list is explicit (no
+``find_packages``) so that forgetting to register a new subpackage -- as
+happened when ``repro.analysis`` was added -- is a visible one-line diff
+rather than a silent wheel omission.
 """
 
 from setuptools import setup
 
-setup()
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.chaos",
+    "repro.cloud",
+    "repro.comm",
+    "repro.core",
+    "repro.costmodel",
+    "repro.experiments",
+    "repro.model",
+    "repro.partitioning",
+    "repro.planner",
+    "repro.scenarios",
+    "repro.serving",
+    "repro.sparse",
+    "repro.workloads",
+]
+
+setup(
+    name="fsd-repro",
+    version="0.8.0",
+    description=(
+        "Reproduction of cloud-based distributed matrix multiplication "
+        "serving (FSD) with deterministic simulation, chaos injection, "
+        "SLO planning, and the detlint determinism linter"
+    ),
+    package_dir={"": "src"},
+    packages=PACKAGES,
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "scipy"],
+    },
+    entry_points={
+        "console_scripts": [
+            "detlint = repro.analysis.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,44 @@
+"""detlint: static enforcement of the repo's determinism contracts.
+
+The reproduction's credibility rests on byte-identity invariants -- seeded
+rng threading, no wall-clock on simulated paths, gated summary keys,
+picklable top-level campaign factories, ``if injector is not None`` chaos
+gating -- that runtime regression tests can only catch *after* a fingerprint
+drifts.  This package catches the violation at the source line instead: an
+AST-based rule framework (one :class:`~repro.analysis.rules.Rule` per
+invariant, stable ids DET001-DET007), inline ``allow[DET00x] reason``
+suppression pragmas, a curated allowlist for audited
+exceptions, and a CLI (``python -m repro.analysis``) wired as a CI gate and
+tier-1 meta-test.
+"""
+
+from .allowlist import ALLOWLIST, AllowlistEntry, allowlisted
+from .engine import (
+    FileRoles,
+    Finding,
+    LintConfig,
+    LintResult,
+    collect_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .rules import ALL_RULE_IDS, ALL_RULES, Rule, rule_table
+
+__all__ = [
+    "ALLOWLIST",
+    "ALL_RULES",
+    "ALL_RULE_IDS",
+    "AllowlistEntry",
+    "FileRoles",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "allowlisted",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule_table",
+]

@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro.analysis [paths] ...``.
+
+Exit codes: 0 = clean, 1 = unsuppressed findings (or unparseable files),
+2 = usage error (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .engine import LintConfig, lint_paths
+from .rules import ALL_RULE_IDS, rule_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "detlint: statically enforce the repo's determinism and "
+            "byte-identity contracts (rules DET001-DET007)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids to run exclusively (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--no-allowlist",
+        action="store_true",
+        help="disable the curated allowlist (audit mode)",
+    )
+    parser.add_argument(
+        "--no-pragmas",
+        action="store_true",
+        help="disable inline suppression pragmas (audit mode)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _parse_rule_ids(groups: Sequence[str]) -> Tuple[str, ...]:
+    ids: List[str] = []
+    for group in groups:
+        for part in group.split(","):
+            part = part.strip()
+            if part:
+                ids.append(part)
+    for rule_id in ids:
+        if rule_id not in ALL_RULE_IDS:
+            raise ValueError(rule_id)
+    return tuple(ids)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for row in rule_table():
+            print(f"{row['id']}  {row['title']}")
+            print(f"        {row['invariant']}")
+        return 0
+
+    try:
+        select = _parse_rule_ids(args.select)
+        ignore = _parse_rule_ids(args.ignore)
+    except ValueError as exc:
+        print(f"detlint: unknown rule id {exc.args[0]!r}", file=sys.stderr)
+        return 2
+
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"detlint: no such path {path!r}", file=sys.stderr)
+            return 2
+
+    config = LintConfig(
+        select=select,
+        ignore=ignore,
+        use_allowlist=not args.no_allowlist,
+        use_pragmas=not args.no_pragmas,
+    )
+    result = lint_paths(args.paths, config)
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            location = f"{finding.path}:{finding.line}:{finding.col}"
+            suffix = f" [{finding.symbol}]" if finding.symbol else ""
+            print(f"{location}: {finding.rule} {finding.message}{suffix}")
+        tallies = ", ".join(f"{rule}={n}" for rule, n in result.counts().items())
+        if result.findings:
+            print(
+                f"detlint: {len(result.findings)} finding(s) ({tallies}) in "
+                f"{result.files_checked} file(s); "
+                f"{len(result.suppressed)} pragma-suppressed, "
+                f"{len(result.allowlisted)} allowlisted"
+            )
+        else:
+            print(
+                f"detlint: clean ({result.files_checked} file(s); "
+                f"{len(result.suppressed)} pragma-suppressed, "
+                f"{len(result.allowlisted)} allowlisted)"
+            )
+    return 1 if result.findings else 0

@@ -81,6 +81,7 @@ __all__ = [
 
 #: stable field order of :class:`ChannelStats` (all-integer counters), used
 #: to vectorize accumulation: ``sum of vecs`` is exactly ``accumulate`` folds.
+# detlint: allow[DET004] dataclass field order is declaration order, deterministic across runs
 CHANNEL_FIELDS: Tuple[str, ...] = tuple(vars(ChannelStats()).keys())
 
 #: how many real executions fluid mode spends per key before synthesizing.

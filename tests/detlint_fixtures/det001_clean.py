@@ -1,0 +1,10 @@
+# detlint: treat-as src/repro/fixture/simulated.py
+"""DET001 non-firing corpus: simulated time flows from the virtual clock."""
+
+
+def stamp_arrival(query, clock):
+    query.arrived_at = clock.now
+
+
+def measure(clock, at_time):
+    return clock.now - at_time

@@ -1,0 +1,15 @@
+# detlint: treat-as src/repro/fixture/simulated.py
+"""DET001 firing corpus: wall-clock calls on a simulated path."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def stamp_arrival(query):
+    query.arrived_at = time.time()
+
+
+def measure():
+    started = pc()
+    return datetime.now(), started

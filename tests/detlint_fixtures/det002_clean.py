@@ -1,0 +1,20 @@
+"""DET002 non-firing corpus: every generator is explicitly seeded."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def make_generator_from_sequence(seed, attempt):
+    return default_rng([seed, attempt])
+
+
+def make_bitgen(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def draw(rng, shape):
+    return rng.normal(size=shape)

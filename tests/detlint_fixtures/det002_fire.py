@@ -1,0 +1,22 @@
+"""DET002 firing corpus: unseeded and module-level-state randomness."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter():
+    return random.random() + random.randint(0, 3)
+
+
+def noise(shape):
+    return np.random.rand(*shape) + np.random.normal(size=shape)
+
+
+def make_generator():
+    return default_rng()
+
+
+def make_generator_explicit_none():
+    return np.random.default_rng(None)

@@ -1,0 +1,14 @@
+"""DET003 non-firing corpus: the threaded rng is the only stream."""
+
+import numpy as np
+
+
+def arrival_times(count, horizon, rng):
+    return sorted(rng.uniform(0.0, horizon, size=count))
+
+
+def build_scenario(seed):
+    # Constructing a generator is fine when the function does NOT accept one:
+    # this is the seam where a seed becomes the single threaded stream.
+    rng = np.random.default_rng(seed)
+    return arrival_times(10, 86400.0, rng)

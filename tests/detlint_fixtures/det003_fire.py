@@ -1,0 +1,15 @@
+"""DET003 firing corpus: a function takes rng but forks its own stream."""
+
+import numpy as np
+
+
+def arrival_times(count, horizon, rng):
+    local = np.random.default_rng(12345)  # ignores the threaded generator
+    return sorted(local.uniform(0.0, horizon, size=count))
+
+
+def nested_fork(rng):
+    def helper():
+        return np.random.default_rng(7)
+
+    return helper().normal() + rng.normal()

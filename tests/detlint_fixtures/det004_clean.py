@@ -1,0 +1,19 @@
+# detlint: treat-as src/repro/planner/fixture.py
+"""DET004 non-firing corpus: every unordered source is wrapped in sorted()."""
+
+import os
+
+
+def summarize(metrics):
+    payload = {}
+    for key in sorted(metrics.keys()):
+        payload[key] = metrics[key]
+    return payload
+
+
+def unique_backends(cells):
+    return [cell for cell in sorted(set(cells))]
+
+
+def discover(path):
+    return tuple(sorted(os.listdir(path)))

@@ -1,0 +1,19 @@
+# detlint: treat-as src/repro/planner/fixture.py
+"""DET004 firing corpus: unsorted iteration in a fingerprint module."""
+
+import os
+
+
+def summarize(metrics):
+    payload = {}
+    for key in metrics.keys():
+        payload[key] = metrics[key]
+    return payload
+
+
+def unique_backends(cells):
+    return [cell for cell in set(cells)]
+
+
+def discover(path):
+    return tuple(os.listdir(path))

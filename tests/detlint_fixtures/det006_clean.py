@@ -1,0 +1,18 @@
+"""DET006 non-firing corpus: named top-level factories (the Spec contract)."""
+
+from repro.experiments import Campaign
+from repro.planner import SearchSpace
+from repro.serving.factories import FSDBackendSpec
+
+
+def make_fsd_backend():
+    return FSDBackendSpec(workers=2)()
+
+
+def run_campaign(scenarios):
+    backends = {"fsd": make_fsd_backend}
+    return Campaign(scenarios, backends)
+
+
+def plan(scenarios):
+    return SearchSpace(backends={"fsd": make_fsd_backend})

@@ -1,0 +1,21 @@
+"""DET006 firing corpus: closures registered as campaign/planner factories."""
+
+from repro.experiments import Campaign
+from repro.planner import SearchSpace
+
+
+def run_campaign(scenarios, cloud_factory):
+    backends = {"fsd": lambda: cloud_factory()}
+    backends["hpc"] = lambda: cloud_factory()
+    return Campaign(scenarios, backends)
+
+
+def run_inline(scenarios):
+    return Campaign(scenarios, {"fsd": lambda: None})
+
+
+def plan(make_backend):
+    def local_backend():
+        return make_backend()
+
+    return SearchSpace(backends={"fsd": local_backend})

@@ -1,0 +1,15 @@
+# detlint: treat-as src/repro/fixture/registry.py
+"""DET007 non-firing corpus: immutable module state only."""
+
+__all__ = ["LIMITS", "KNOWN_KINDS", "DEFAULT_LABEL"]
+
+LIMITS = (1, 2, 4, 8)
+KNOWN_KINDS = frozenset({"transient", "preemption"})
+DEFAULT_LABEL = "none"
+PAIRS = tuple(sorted({"a": 1, "b": 2}.items()))
+
+
+def scratch():
+    # Function-local containers are private per call: not shared state.
+    local = {"fine": []}
+    return local

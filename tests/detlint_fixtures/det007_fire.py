@@ -1,0 +1,16 @@
+# detlint: treat-as src/repro/fixture/registry.py
+"""DET007 firing corpus: module-level mutable containers (shared-state races)."""
+
+from collections import OrderedDict, defaultdict
+
+
+class _PlanCache:
+    pass
+
+
+RESULTS = []
+SETTINGS = {"workers": 4}
+SEEN = set()
+_RECENT: "OrderedDict[str, int]" = OrderedDict()
+_BY_KIND = defaultdict(list)
+_PLANS = _PlanCache()

@@ -97,6 +97,7 @@ class TestCampaignGrid:
             {"fsd": backends["fsd"]},
             policy_sets={
                 "none": tuple,
+                # detlint: allow[DET006] thread-executor test; process-pool coverage uses PolicySetSpec
                 "coalesce": lambda: (BatchCoalescingPolicy(window_seconds=120.0),),
             },
         )

@@ -300,4 +300,5 @@ class TestCampaignReplayKnobs:
             "S", (), {"name": "s", "build": lambda self: SporadicWorkload(queries=[])}
         )()
         with pytest.raises(ValueError, match="replay_mode"):
+            # detlint: allow[DET006] constructor-rejection fixture; the campaign never runs
             Campaign([scenario], {"b": lambda: None}, replay_mode="warp")
