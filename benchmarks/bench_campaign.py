@@ -51,6 +51,7 @@ sys.path.insert(0, str(_HERE.parent / "src"))
 from common import (  # noqa: E402
     SERVING_SEED,
     SERVING_WORKERS,
+    append_record,
     git_rev,
     scaled_cloud,
     scaled_latency,
@@ -227,11 +228,6 @@ def run(
             else:
                 os.environ["FSD_BENCH_FULL"] = saved_full
 
-    if not quick and not paper_scale:
-        # The reference fingerprint was recorded with the scaled compute
-        # calibration; paper-scale latencies legitimately differ.
-        _check_serving_reference(report)
-
     record = {
         "label": label or git_rev(),
         "git_rev": git_rev(),
@@ -247,14 +243,16 @@ def run(
         "campaign": report.to_dict(),
     }
 
-    history = {"records": []}
-    if RESULT_PATH.exists():
-        try:
-            history = json.loads(RESULT_PATH.read_text())
-        except (json.JSONDecodeError, OSError):
-            pass
-    history.setdefault("records", []).append(record)
-    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    # The reference fingerprint was recorded with the scaled compute
+    # calibration; paper-scale latencies legitimately differ.  A failed check
+    # aborts before the history file is touched.
+    append_record(
+        RESULT_PATH,
+        record,
+        reference_check=(
+            None if quick or paper_scale else lambda: _check_serving_reference(report)
+        ),
+    )
 
     print(f"campaign benchmark -- label={record['label']} rev={record['git_rev']}")
     print(

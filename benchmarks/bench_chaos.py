@@ -43,6 +43,7 @@ sys.path.insert(0, str(_HERE.parent / "src"))
 
 from common import (  # noqa: E402
     SERVING_SEED,
+    append_record,
     git_rev,
     serving_bench_workloads,
     serving_fsd_backend,
@@ -138,14 +139,7 @@ def run(quick: bool = False, label: str | None = None) -> dict:
         "replay": first,
     }
 
-    history = {"records": []}
-    if RESULT_PATH.exists():
-        try:
-            history = json.loads(RESULT_PATH.read_text())
-        except (json.JSONDecodeError, OSError):
-            pass
-    history.setdefault("records", []).append(record)
-    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_record(RESULT_PATH, record)
 
     replay = record["replay"]
     print(f"chaos benchmark -- label={record['label']} rev={record['git_rev']}")

@@ -48,6 +48,7 @@ sys.path.insert(0, str(_HERE.parent / "src"))
 
 from common import (  # noqa: E402
     SERVING_SEED,
+    append_record,
     git_rev,
     scaled_cloud,
     serving_batch_builder,
@@ -173,9 +174,6 @@ def run(quick: bool = False, label: str | None = None) -> dict:
     reports = {scenario.name: planner.plan(scenario) for scenario in scenarios}
     wall_seconds = time.perf_counter() - start
 
-    if not quick:
-        _check_serving_reference(reports["poisson"])
-
     record = {
         "label": label or git_rev(),
         "git_rev": git_rev(),
@@ -190,14 +188,14 @@ def run(quick: bool = False, label: str | None = None) -> dict:
         "plans": {name: report.to_dict() for name, report in reports.items()},
     }
 
-    history = {"records": []}
-    if RESULT_PATH.exists():
-        try:
-            history = json.loads(RESULT_PATH.read_text())
-        except (json.JSONDecodeError, OSError):
-            pass
-    history.setdefault("records", []).append(record)
-    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    # A failed reference check aborts before the history file is touched.
+    append_record(
+        RESULT_PATH,
+        record,
+        reference_check=(
+            None if quick else lambda: _check_serving_reference(reports["poisson"])
+        ),
+    )
 
     print(f"planner benchmark -- label={record['label']} rev={record['git_rev']}")
     for name, report in reports.items():

@@ -51,6 +51,7 @@ from common import (  # noqa: E402
     SERVING_LAYERS,
     SERVING_SEED,
     SERVING_WORKERS,
+    append_record,
     git_rev,
     serving_bench_workloads,
     serving_fsd_backend,
@@ -252,14 +253,7 @@ def run(
     else:
         record["replay"] = _replay(quick, coalesce_window)
 
-    history = {"records": []}
-    if RESULT_PATH.exists():
-        try:
-            history = json.loads(RESULT_PATH.read_text())
-        except (json.JSONDecodeError, OSError):
-            pass
-    history.setdefault("records", []).append(record)
-    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_record(RESULT_PATH, record)
 
     if scale:
         sweep = record["scale"]

@@ -25,6 +25,7 @@ paper's figures.
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 from dataclasses import dataclass
@@ -235,6 +236,28 @@ def _fmt(value: object) -> str:
             return f"{value:.3e}"
         return f"{value:.4g}"
     return str(value)
+
+
+def append_record(path: Path, record: dict, reference_check=None) -> None:
+    """Append one benchmark record to the JSON history file at ``path``.
+
+    Every benchmark harness shares this exact read-modify-write: a missing or
+    corrupt history starts fresh, the record is appended, and the file is
+    rewritten with a trailing newline.  ``reference_check`` is an optional
+    zero-argument callable run *before* anything is written (the serving
+    reference-fingerprint assertions of bench_campaign/bench_planner), so a
+    failed cross-benchmark invariant leaves the history untouched.
+    """
+    if reference_check is not None:
+        reference_check()
+    history = {"records": []}
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass
+    history.setdefault("records", []).append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
 
 
 def git_rev() -> str:

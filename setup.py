@@ -26,16 +26,18 @@ PACKAGES = [
     "repro.scenarios",
     "repro.serving",
     "repro.sparse",
+    "repro.telemetry",
     "repro.workloads",
 ]
 
 setup(
     name="fsd-repro",
-    version="0.8.0",
+    version="0.9.0",
     description=(
         "Reproduction of cloud-based distributed matrix multiplication "
         "serving (FSD) with deterministic simulation, chaos injection, "
-        "SLO planning, and the detlint determinism linter"
+        "SLO planning, virtual-timeline tracing, and the detlint "
+        "determinism linter"
     ),
     package_dir={"": "src"},
     packages=PACKAGES,
@@ -47,6 +49,7 @@ setup(
     entry_points={
         "console_scripts": [
             "detlint = repro.analysis.cli:main",
+            "repro-trace = repro.telemetry.cli:main",
         ],
     },
 )

@@ -142,6 +142,13 @@ from .serving import (
     ServingReport,
     policies_from_knobs,
 )
+from .telemetry import (
+    TelemetryConfig,
+    Tracer,
+    chrome_trace,
+    critical_path,
+    write_chrome_trace,
+)
 from .partitioning import (
     ContiguousPartitioner,
     HypergraphPartitioner,
@@ -275,6 +282,12 @@ __all__ = [
     "ServingConfig",
     "ServingReport",
     "policies_from_knobs",
+    # telemetry
+    "TelemetryConfig",
+    "Tracer",
+    "chrome_trace",
+    "critical_path",
+    "write_chrome_trace",
     # workloads
     "GraphChallengeConfig",
     "InferenceQuery",

@@ -340,6 +340,15 @@ class InjectorGateRule(Rule):
         "calls."
     )
 
+    #: dotted-tail last segment of the optional hook this rule gates on.
+    #: Subclasses re-target the whole machinery at another hook (DET008
+    #: checks the telemetry ``tracer`` with the identical contract).
+    hook_attr = "injector"
+    #: how the feature-off mode is named in findings ("chaos-off", ...).
+    off_label = "chaos-off"
+    #: how the gate is named in mutation-before-gate findings.
+    gate_noun = "injection check"
+
     def applies(self, ctx: LintContext) -> bool:
         return ctx.roles.cloud_service
 
@@ -352,10 +361,10 @@ class InjectorGateRule(Rule):
                 self._check_function(node)
         return self._findings
 
-    @staticmethod
-    def _is_injector_expr(expr: ast.AST) -> bool:
+    @classmethod
+    def _is_injector_expr(cls, expr: ast.AST) -> bool:
         tail = _dotted_tail(expr)
-        return tail is not None and tail.split(".")[-1] == "injector"
+        return tail is not None and tail.split(".")[-1] == cls.hook_attr
 
     @classmethod
     def _gate_exprs(cls, test: ast.AST) -> List[str]:
@@ -403,8 +412,9 @@ class InjectorGateRule(Rule):
                 if not self._is_gated(node, node.func.value, gates, func):
                     self.report(
                         node,
-                        "injector method called outside an `if injector is not "
-                        "None` gate; chaos-off would crash or diverge here",
+                        f"{self.hook_attr} method called outside an `if "
+                        f"{self.hook_attr} is not None` gate; {self.off_label} "
+                        "would crash or diverge here",
                         symbol=node.func.attr,
                     )
 
@@ -461,8 +471,9 @@ class InjectorGateRule(Rule):
                     if isinstance(target, (ast.Attribute, ast.Subscript)) and self._is_self_attribute(target):
                         self.report(
                             node,
-                            "instance state mutated before the injection check; "
-                            "a faulted call would observe partial mutation",
+                            f"instance state mutated before the {self.gate_noun}; "
+                            f"a {self.off_label} divergence or partial mutation "
+                            "could be observed",
                             symbol="mutation-before-gate",
                         )
             elif (
@@ -474,10 +485,27 @@ class InjectorGateRule(Rule):
             ):
                 self.report(
                     node,
-                    "container on self mutated before the injection check; "
-                    "a faulted call would observe partial mutation",
+                    f"container on self mutated before the {self.gate_noun}; "
+                    f"a {self.off_label} divergence or partial mutation "
+                    "could be observed",
                     symbol="mutation-before-gate",
                 )
+
+
+class TracerGateRule(InjectorGateRule):
+    id = "DET008"
+    title = "tracer use without the `is not None` gate"
+    invariant = (
+        "Telemetry-off must be byte-identical: every instrumentation point "
+        "in a cloud service is a single `if tracer is not None` check, and "
+        "no instance state may be mutated before the telemetry decision.  "
+        "An ungated tracer call, or a mutation before the gate, breaks the "
+        "telemetry-off fingerprint contract."
+    )
+
+    hook_attr = "tracer"
+    off_label = "telemetry-off"
+    gate_noun = "telemetry gate"
 
 
 class ClosureFactoryRule(Rule):
@@ -687,6 +715,7 @@ ALL_RULES: Tuple[type, ...] = (
     InjectorGateRule,
     ClosureFactoryRule,
     ModuleMutableStateRule,
+    TracerGateRule,
 )
 
 ALL_RULE_IDS: frozenset = frozenset({"DET000"} | {rule.id for rule in ALL_RULES})

@@ -65,6 +65,7 @@ from .queues import (
     QueueMessage,
     QueueService,
 )
+from .telemetry import TelemetryDomain
 from .timing import JitterModel, LatencyModel, VirtualClock, merge_latency_overrides
 from .vm import InstanceSpec, VirtualMachine, VMService
 
@@ -87,6 +88,7 @@ __all__ = [
     "BatchTooLargeError",
     "ConcurrencyLimitError",
     "FaultDomain",
+    "TelemetryDomain",
     "FunctionPreemptedError",
     "FunctionTimeoutError",
     "InvalidRequestError",

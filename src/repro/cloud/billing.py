@@ -95,9 +95,11 @@ class CostReport:
 class BillingLedger:
     """Accumulates :class:`UsageRecord` entries and produces cost reports."""
 
-    def __init__(self, price_book: Optional[PriceBook] = None):
+    def __init__(self, price_book: Optional[PriceBook] = None, telemetry=None):
         self.price_book = price_book or PriceBook()
         self._records: List[UsageRecord] = []
+        #: shared TelemetryDomain (see cloud.telemetry); None on bare ledgers.
+        self._telemetry = telemetry
 
     # -- recording -----------------------------------------------------------
 
@@ -123,6 +125,9 @@ class BillingLedger:
             cost=cost,
             timestamp=timestamp,
         )
+        tracer = None if self._telemetry is None else self._telemetry.tracer
+        if tracer is not None:
+            tracer.counter_add("cloud.cost_usd", cost, timestamp)
         self._records.append(record)
         return record
 

@@ -17,6 +17,7 @@ from .billing import SERVICE_BLOCK, BillingLedger
 from .errors import InvalidRequestError, ResourceAlreadyExistsError, ResourceNotFoundError
 from .faults import FaultDomain
 from .pricing import PriceBook
+from .telemetry import TelemetryDomain
 from .timing import LatencyModel, VirtualClock
 
 __all__ = ["BlockVolume", "BlockStorageService"]
@@ -35,6 +36,7 @@ class BlockVolume:
         latency: LatencyModel,
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         if size_gb <= 0:
             raise InvalidRequestError("volume size must be positive")
@@ -44,6 +46,7 @@ class BlockVolume:
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
+        self._telemetry = telemetry or TelemetryDomain()
         self.total_bytes_read = 0
 
     def read(self, size_bytes: int, clock: VirtualClock) -> float:
@@ -55,6 +58,9 @@ class BlockVolume:
         injector = self._faults.injector
         if injector is not None:
             injector.check("block", "read", self.name, clock.now)
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op("block", "read", self.name, clock.now, bytes=size_bytes)
         self.total_bytes_read += size_bytes
         return duration
 
@@ -87,18 +93,26 @@ class BlockStorageService:
         latency: LatencyModel,
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
+        self._telemetry = telemetry or TelemetryDomain()
         self._volumes: Dict[str, BlockVolume] = {}
 
     def create_volume(self, name: str, size_gb: float) -> BlockVolume:
         if name in self._volumes:
             raise ResourceAlreadyExistsError(f"volume '{name}' already exists")
         volume = BlockVolume(
-            name, size_gb, self._ledger, self._latency, self._prices, faults=self._faults
+            name,
+            size_gb,
+            self._ledger,
+            self._latency,
+            self._prices,
+            faults=self._faults,
+            telemetry=self._telemetry,
         )
         self._volumes[name] = volume
         return volume

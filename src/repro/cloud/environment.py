@@ -22,6 +22,7 @@ from .objectstore import ObjectStorageService
 from .pricing import PriceBook
 from .pubsub import PubSubService
 from .queues import QueueService
+from .telemetry import TelemetryDomain
 from .timing import LatencyModel
 from .vm import VMService
 
@@ -53,7 +54,10 @@ class CloudEnvironment:
     ):
         self.latency = latency or LatencyModel()
         self.prices = prices or PriceBook()
-        self.ledger = BillingLedger(self.prices)
+        #: one telemetry domain shared by every service: installing a tracer
+        #: here arms all instrumentation points of this environment.
+        self.telemetry = TelemetryDomain()
+        self.ledger = BillingLedger(self.prices, telemetry=self.telemetry)
         #: one fault domain shared by every service: installing a chaos
         #: injector here arms all interception points of this environment.
         self.faults = FaultDomain()
@@ -64,14 +68,19 @@ class CloudEnvironment:
             concurrency_limit=faas_concurrency_limit,
             warm_keepalive_seconds=faas_warm_keepalive_seconds,
             faults=self.faults,
+            telemetry=self.telemetry,
         )
-        self.pubsub = PubSubService(self.ledger, self.latency, self.prices, faults=self.faults)
-        self.queues = QueueService(self.ledger, self.latency, self.prices, faults=self.faults)
+        self.pubsub = PubSubService(
+            self.ledger, self.latency, self.prices, faults=self.faults, telemetry=self.telemetry
+        )
+        self.queues = QueueService(
+            self.ledger, self.latency, self.prices, faults=self.faults, telemetry=self.telemetry
+        )
         self.object_storage = ObjectStorageService(
-            self.ledger, self.latency, self.prices, faults=self.faults
+            self.ledger, self.latency, self.prices, faults=self.faults, telemetry=self.telemetry
         )
         self.block_storage = BlockStorageService(
-            self.ledger, self.latency, self.prices, faults=self.faults
+            self.ledger, self.latency, self.prices, faults=self.faults, telemetry=self.telemetry
         )
         self.vms = VMService(self.ledger, self.latency, self.prices)
 
@@ -84,6 +93,16 @@ class CloudEnvironment:
     def clear_chaos(self) -> None:
         """Disarm fault injection (back to the fault-free substrate)."""
         self.faults.clear()
+
+    # -- telemetry -----------------------------------------------------------------
+
+    def install_telemetry(self, tracer) -> None:
+        """Arm every telemetry instrumentation point of this environment."""
+        self.telemetry.install(tracer)
+
+    def clear_telemetry(self) -> None:
+        """Disarm telemetry (back to the untraced substrate)."""
+        self.telemetry.clear()
 
     # -- convenience ---------------------------------------------------------------
 

@@ -49,6 +49,7 @@ from .errors import (
 )
 from .faults import FaultDomain
 from .pricing import PriceBook
+from .telemetry import TelemetryDomain
 from .timing import LatencyModel, VirtualClock
 
 __all__ = [
@@ -260,11 +261,13 @@ class FaaSPlatform:
         concurrency_limit: int = 1000,
         warm_keepalive_seconds: Optional[float] = None,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         self.ledger = ledger
         self.latency = latency
         self.prices = prices
         self.faults = faults or FaultDomain()
+        self.telemetry = telemetry or TelemetryDomain()
         self.concurrency_limit = concurrency_limit
         #: None keeps the legacy timeless reuse rule; a number makes warm
         #: reuse depend on the idle gap between invocations (shared timeline).
@@ -350,6 +353,16 @@ class FaaSPlatform:
             # preemption/transient error before any environment is claimed.
             injector.on_faas_request(self, name, request_time)
 
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op("faas", "invoke", name, request_time)
+            # Pre-claim occupancy: what a request arriving now could reuse.
+            tracer.gauge_sample(
+                f"faas.warm_pool.{name}",
+                self.warm_environment_count(name, request_time),
+                request_time,
+            )
+
         if force_cold is None:
             cold = not self._claim_warm_environment(name, request_time)
         else:
@@ -414,7 +427,6 @@ class FaaSPlatform:
     # -- bookkeeping ------------------------------------------------------------------
 
     def _record_invocation(self, invocation: FunctionInvocation) -> None:
-        self._active_invocations = max(0, self._active_invocations - 1)
         # A preempted invocation ends at its kill time (earlier than the
         # clock) and its reclaimed environment never rejoins the warm pool.
         ended_at = (
@@ -422,6 +434,23 @@ class FaaSPlatform:
             if invocation._finish_time is not None
             else invocation.clock.now
         )
+        tracer = self.telemetry.tracer
+        if tracer is not None:
+            tracer.record_span(
+                "invocation",
+                track=f"faas:{invocation.function_name}",
+                start=invocation.started_at,
+                end=ended_at,
+                invocation_id=invocation.invocation_id,
+                cold=invocation.cold,
+                failed_reason=invocation.failed_reason,
+            )
+            tracer.counter_add(
+                "faas.cold_starts" if invocation.cold else "faas.warm_starts",
+                1.0,
+                ended_at,
+            )
+        self._active_invocations = max(0, self._active_invocations - 1)
         if invocation.failed_reason != "preempted":
             self._warm_environments.setdefault(invocation.function_name, []).append(
                 ended_at

@@ -32,6 +32,7 @@ from .errors import (
 )
 from .faults import FaultDomain
 from .pricing import PriceBook
+from .telemetry import TelemetryDomain
 from .timing import LatencyModel, VirtualClock
 
 __all__ = ["StoredObject", "ObjectHandle", "Bucket", "ObjectStorageService"]
@@ -69,12 +70,14 @@ class Bucket:
         latency: LatencyModel,
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
+        self._telemetry = telemetry or TelemetryDomain()
         self._objects: Dict[str, StoredObject] = {}
         self.total_put_requests = 0
         self.total_get_requests = 0
@@ -104,6 +107,9 @@ class Bucket:
         injector = self._faults.injector
         if injector is not None:
             injector.check("object", "put", self.name, clock.now)
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op("object", "put", self.name, clock.now, bytes=len(data))
         self._objects[key] = StoredObject(key=key, data=bytes(data), visible_at=clock.now)
         self.total_put_requests += 1
         self.total_bytes_written += len(data)
@@ -130,6 +136,13 @@ class Bucket:
         Raises :class:`ResourceNotFoundError` when the key does not exist or
         is not yet visible at the caller's current virtual time.
         """
+        # The tracer gate sits before the injector block: the fault branches
+        # below mutate request counters, and the DET008 contract requires
+        # every instance mutation to happen after the telemetry decision.
+        # The op is stamped at request-issue time (pre-advance) accordingly.
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op("object", "get", self.name, clock.now)
         injector = self._faults.injector
         if injector is not None:
             try:
@@ -157,6 +170,9 @@ class Bucket:
     def list_objects(self, prefix: str, clock: VirtualClock) -> List[ObjectHandle]:
         """List visible objects under ``prefix``; bills one LIST request."""
         clock.advance(self._latency.object_list())
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op("object", "list", self.name, clock.now)
         self.total_list_requests += 1
         self._bill("list", self._prices.object_price_per_list, clock.now)
         handles = [
@@ -207,17 +223,26 @@ class ObjectStorageService:
         latency: LatencyModel,
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
+        self._telemetry = telemetry or TelemetryDomain()
         self._buckets: Dict[str, Bucket] = {}
 
     def create_bucket(self, name: str) -> Bucket:
         if name in self._buckets:
             raise ResourceAlreadyExistsError(f"bucket '{name}' already exists")
-        bucket = Bucket(name, self._ledger, self._latency, self._prices, faults=self._faults)
+        bucket = Bucket(
+            name,
+            self._ledger,
+            self._latency,
+            self._prices,
+            faults=self._faults,
+            telemetry=self._telemetry,
+        )
         self._buckets[name] = bucket
         return bucket
 

@@ -33,6 +33,7 @@ from .errors import (
 from .faults import FaultDomain
 from .pricing import PriceBook
 from .queues import AttributeValue, Queue, QueueMessage
+from .telemetry import TelemetryDomain
 from .timing import LatencyModel, VirtualClock
 
 __all__ = [
@@ -94,12 +95,14 @@ class Topic:
         latency: LatencyModel,
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
+        self._telemetry = telemetry or TelemetryDomain()
         self._subscriptions: List[Subscription] = []
         self.total_publish_calls = 0
         self.total_messages_published = 0
@@ -139,6 +142,12 @@ class Topic:
         injector = self._faults.injector
         if injector is not None:
             injector.check("pubsub", "publish", self.name, clock.now)
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op(
+                "pubsub", "publish", self.name, clock.now,
+                messages=len(messages), bytes=payload_bytes,
+            )
         self.total_publish_calls += 1
         self.total_messages_published += len(messages)
 
@@ -194,17 +203,26 @@ class PubSubService:
         latency: LatencyModel,
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
+        self._telemetry = telemetry or TelemetryDomain()
         self._topics: Dict[str, Topic] = {}
 
     def create_topic(self, name: str) -> Topic:
         if name in self._topics:
             raise ResourceAlreadyExistsError(f"topic '{name}' already exists")
-        topic = Topic(name, self._ledger, self._latency, self._prices, faults=self._faults)
+        topic = Topic(
+            name,
+            self._ledger,
+            self._latency,
+            self._prices,
+            faults=self._faults,
+            telemetry=self._telemetry,
+        )
         self._topics[name] = topic
         return topic
 

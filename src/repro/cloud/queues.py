@@ -33,6 +33,7 @@ from .errors import (
 )
 from .faults import FaultDomain
 from .pricing import PriceBook
+from .telemetry import TelemetryDomain
 from .timing import LatencyModel, VirtualClock
 
 __all__ = ["QueueMessage", "Queue", "QueueService", "MAX_RECEIVE_BATCH", "MAX_MESSAGE_BYTES"]
@@ -78,12 +79,14 @@ class Queue:
         latency: LatencyModel,
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
+        self._telemetry = telemetry or TelemetryDomain()
         self._messages: List[QueueMessage] = []
         self.total_messages_received = 0
         self.total_api_calls = 0
@@ -116,6 +119,11 @@ class Queue:
         injector = self._faults.injector
         if injector is not None:
             injector.check("queue", "send", self.name, clock.now)
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op("queue", "send", self.name, clock.now, bytes=message.size_bytes)
+            # +1: the message is appended just below, on the same timestamp.
+            tracer.gauge_sample(f"queue.depth.{self.name}", len(self._messages) + 1, clock.now)
         message.available_at = max(message.available_at, clock.now)
         self._messages.append(message)
         self._bill("send", message.size_bytes, clock.now)
@@ -159,6 +167,9 @@ class Queue:
         injector = self._faults.injector
         if injector is not None:
             injector.check("queue", "receive", self.name, clock.now)
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op("queue", "receive", self.name, clock.now)
         visible = self._visible_messages(clock.now)
 
         if not visible and wait_seconds > 0:
@@ -176,6 +187,8 @@ class Queue:
         self.total_messages_received += len(batch)
         for message in batch:
             self._messages.remove(message)
+        if tracer is not None:
+            tracer.gauge_sample(f"queue.depth.{self.name}", len(self._messages), clock.now)
         return batch
 
     def delete_batch(self, messages: Iterable[QueueMessage], clock: VirtualClock) -> None:
@@ -186,6 +199,9 @@ class Queue:
         if len(messages) > MAX_RECEIVE_BATCH:
             raise BatchTooLargeError(len(messages), MAX_RECEIVE_BATCH, "queue")
         clock.advance(self._latency.queue_delete())
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            tracer.channel_op("queue", "delete", self.name, clock.now, count=len(messages))
         self._bill("delete", 0, clock.now)
 
     # -- inspection ---------------------------------------------------------------
@@ -219,17 +235,26 @@ class QueueService:
         latency: LatencyModel,
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
+        telemetry: Optional[TelemetryDomain] = None,
     ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
+        self._telemetry = telemetry or TelemetryDomain()
         self._queues: Dict[str, Queue] = {}
 
     def create_queue(self, name: str) -> Queue:
         if name in self._queues:
             raise ResourceAlreadyExistsError(f"queue '{name}' already exists")
-        queue = Queue(name, self._ledger, self._latency, self._prices, faults=self._faults)
+        queue = Queue(
+            name,
+            self._ledger,
+            self._latency,
+            self._prices,
+            faults=self._faults,
+            telemetry=self._telemetry,
+        )
         self._queues[name] = queue
         return queue
 

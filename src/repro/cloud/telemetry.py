@@ -1,0 +1,49 @@
+"""Per-environment mount point for the telemetry layer's tracer.
+
+The exact analogue of :class:`repro.cloud.faults.FaultDomain`: the cloud
+services know nothing about how traces are recorded or exported -- that
+lives in :mod:`repro.telemetry`.  What they share is one
+:class:`TelemetryDomain` per :class:`~repro.cloud.CloudEnvironment`: a
+tiny mutable holder every service (and every queue/topic/bucket/volume it
+creates) keeps a reference to.  Installing a tracer on the domain arms
+every instrumentation point of that environment at once; clearing it
+disarms them.
+
+With nothing installed (the default) every hook is a single attribute
+check that takes the no-op branch, so a telemetry-off run executes the
+exact same service code -- and produces the exact same clocks, bills and
+fingerprints -- as before the telemetry layer existed.  detlint's DET008
+enforces the gate shape (``if tracer is not None`` before any state
+mutation) the same way DET005 does for the chaos injector.
+
+The tracer itself is duck-typed (any object with ``channel_op``,
+``counter_add`` and ``gauge_sample``); the canonical implementation is
+:class:`repro.telemetry.Tracer`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["TelemetryDomain"]
+
+
+class TelemetryDomain:
+    """Mutable tracer mount point shared by every service of one environment."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(self) -> None:
+        self.tracer: Optional[Any] = None
+
+    def install(self, tracer: Any) -> None:
+        """Arm every instrumentation point of this environment."""
+        self.tracer = tracer
+
+    def clear(self) -> None:
+        """Disarm all instrumentation points (back to untraced behaviour)."""
+        self.tracer = None
+
+    @property
+    def armed(self) -> bool:
+        return self.tracer is not None

@@ -41,6 +41,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from ..chaos import ChaosConfig
 from ..serving import InferenceServer, SchedulingPolicy, ServingBackend, ServingConfig
+from ..telemetry import TelemetryConfig
+from ..telemetry.export import write_chrome_trace
 from ..workloads import SporadicWorkload
 
 __all__ = [
@@ -91,6 +93,12 @@ class CellResult:
     #: deliberately NOT part of the cell identity: a columnar replay of an
     #: uncached cell must reproduce the exact loop's fingerprint.
     outcome_cache: bool = False
+    #: the recorded ``repro-trace-v1`` dict when the campaign ran with a
+    #: telemetry axis (:class:`~repro.telemetry.TelemetryConfig`); ``None``
+    #: otherwise.  Kept out of :attr:`fingerprint` and :meth:`to_dict` --
+    #: traces are exported as standalone artifacts via
+    #: :meth:`CampaignReport.export_traces`.
+    trace: Optional[Dict[str, object]] = field(default=None, repr=False, compare=False)
 
     # -- derived metrics -------------------------------------------------------
 
@@ -266,6 +274,26 @@ class CampaignReport:
                 handle.write(text)
         return text
 
+    def export_traces(
+        self, directory: Union[str, "os.PathLike[str]"]
+    ) -> List[str]:
+        """Write each traced cell's Chrome trace JSON into ``directory``.
+
+        One ``<scenario>_<backend>_<policy_set>[_<chaos>].trace.json`` per
+        cell that carries a recorded trace (campaigns run with a
+        ``telemetry=`` axis); cells without traces are skipped.  Returns the
+        written paths in cell order.
+        """
+        written: List[str] = []
+        for result in self.cells:
+            if result.trace is None:
+                continue
+            filename = result.cell.label.replace("/", "_") + ".trace.json"
+            path = os.path.join(os.fspath(directory), filename)
+            write_chrome_trace(result.trace, path)
+            written.append(path)
+        return written
+
     def render_markdown(
         self, metric: str = "cost_per_query", policy_set: Optional[str] = None
     ) -> str:
@@ -302,6 +330,7 @@ class Campaign:
         chaos_sets: Optional[Mapping[str, Optional[ChaosConfig]]] = None,
         replay_mode: str = "exact",
         outcome_cache: bool = False,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
         if isinstance(scenarios, Mapping):
             self.scenarios: Dict[str, object] = dict(scenarios)
@@ -346,6 +375,10 @@ class Campaign:
                 f"got {self.replay_mode!r}"
             )
         self.outcome_cache = bool(outcome_cache)
+        # Opt-in telemetry axis: every cell serves with this TelemetryConfig
+        # and carries its recorded trace on the CellResult.  ``None`` (the
+        # default) keeps cells untraced and their fingerprints byte-stable.
+        self.telemetry = telemetry
 
     def cells(self) -> List[CampaignCell]:
         """The grid in deterministic scenario-major order."""
@@ -388,6 +421,7 @@ class Campaign:
                 chaos=chaos,
                 replay_mode=self.replay_mode,
                 outcome_cache=self.outcome_cache,
+                telemetry=self.telemetry,
             ),
         )
         start = time.perf_counter()
@@ -398,6 +432,7 @@ class Campaign:
             summary=report.summary(),
             wall_seconds=wall_seconds,
             outcome_cache=self.outcome_cache,
+            trace=None if report.telemetry is None else report.telemetry.to_dict(),
         )
 
     def run(

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Union
 from ..costmodel import CandidateEstimate, WorkloadStats, estimate_candidate
 from ..experiments import Campaign, CampaignCell
 from ..serving import PolicySetSpec
+from ..telemetry import TelemetryConfig
 from .calibration import BackendCalibration, calibrate_backend, estimate_cold_fraction
 from .space import PlanCandidate, SearchSpace, SLOSpec, SLOVerdict, pareto_indices
 
@@ -223,6 +224,7 @@ class DeploymentPlanner:
         max_finalists: int = 8,
         executor: str = "thread",
         max_workers: Optional[int] = None,
+        telemetry: Optional["TelemetryConfig"] = None,
     ):
         if refine_rounds < 0:
             raise ValueError("refine_rounds cannot be negative")
@@ -238,6 +240,10 @@ class DeploymentPlanner:
         self.max_finalists = max_finalists
         self.executor = executor
         self.max_workers = max_workers
+        # Opt-in telemetry for the Stage-2 replay campaign: each finalist
+        # cell records a trace (``CampaignReport.export_traces``).  ``None``
+        # keeps the planner's replays untraced and byte-identical.
+        self.telemetry = telemetry
 
     # -- analytic stage --------------------------------------------------------
 
@@ -407,6 +413,7 @@ class DeploymentPlanner:
                     candidate.label: PolicySetSpec.from_knobs(candidate.knob_dict)
                     for candidate in replayed
                 },
+                telemetry=self.telemetry,
             )
             cells = [
                 CampaignCell(scenario=scenario.name, backend=c.label, policy_set=c.label)

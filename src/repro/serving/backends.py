@@ -206,6 +206,24 @@ class ServingBackend(ABC):
         if cloud is not None:
             cloud.clear_chaos()
 
+    # -- telemetry hooks -----------------------------------------------------
+    #
+    # Same shape as the chaos hooks: backends running on a simulated cloud
+    # arm/disarm that environment's telemetry domain; substrate-free
+    # backends (HPC) are no-ops and still trace at the server level.
+
+    def install_telemetry(self, tracer: Any) -> None:
+        """Arm the backend's cloud environment with a tracer."""
+        cloud = getattr(self, "cloud", None)
+        if cloud is not None:
+            cloud.install_telemetry(tracer)
+
+    def clear_telemetry(self) -> None:
+        """Disarm telemetry on the backend's cloud environment."""
+        cloud = getattr(self, "cloud", None)
+        if cloud is not None:
+            cloud.clear_telemetry()
+
     def attempt_begin(self) -> Any:
         """Snapshot backend state before a dispatch that may fail mid-flight."""
         cloud = getattr(self, "cloud", None)

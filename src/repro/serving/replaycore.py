@@ -816,6 +816,19 @@ def columnar_serve(server, workload):
     if not any(tenant is not None for tenant in tenants):
         tenants = None
 
+    # Telemetry mounts exactly as in the exact loop -- tracer installed
+    # before begin(), serve root span at t=0 -- and the per-query emission
+    # below mirrors ``admit()``'s, so both paths produce the same span set
+    # with the same sequential ids (pinned by tests/test_telemetry.py).
+    tracer = None
+    serve_span = None
+    if config.telemetry is not None:
+        tracer = config.telemetry.build_tracer()
+        backend.install_telemetry(tracer)
+        serve_span = tracer.begin_span(
+            "serve", track="server", start=0.0, backend=backend.name
+        )
+
     cloud = getattr(backend, "cloud", None)
     pre_begin = cloud.billing_checkpoint() if cloud is not None else None
     backend.begin(workload)
@@ -846,6 +859,29 @@ def columnar_serve(server, workload):
             warms.append(outcome.warm_starts)
             if sink is None and outcome.channel_stats is not None:
                 channel_total.accumulate(outcome.channel_stats)
+            if tracer is not None:
+                query_span = tracer.record_span(
+                    "query",
+                    track="queries",
+                    start=at_time,
+                    end=at_time + outcome.latency_seconds,
+                    parent=serve_span,
+                    query_id=query.query_id,
+                    neurons=query.neurons,
+                    samples=query.samples,
+                    outcome="completed",
+                    attempts=1,
+                )
+                tracer.record_span(
+                    "attempt",
+                    track="queries",
+                    start=at_time,
+                    end=at_time + outcome.latency_seconds,
+                    parent=query_span,
+                    attempt=1,
+                    cold_starts=outcome.cold_starts,
+                    warm_starts=outcome.warm_starts,
+                )
         finish_report = backend.finish()
         cost_report = sink.cost_report() if sink is not None else finish_report
         peak_workers = _worker_peak(backend, sink)
@@ -855,6 +891,10 @@ def columnar_serve(server, workload):
             backend.set_outcome_caching(False)
 
     finished = np.asarray(finishes, dtype=np.float64)
+    if tracer is not None:
+        # Same float op as the exact loop's serve end: max over finished_at.
+        tracer.end_span(serve_span, float(finished.max()) if finished.size else 0.0)
+        backend.clear_telemetry()
     columns = ReportColumns(
         query_id=query_id,
         neurons=neurons,
@@ -879,6 +919,7 @@ def columnar_serve(server, workload):
         fault_counts={},
         columns=columns,
         replay_mode="columnar",
+        telemetry=tracer,
     )
 
 

@@ -44,6 +44,8 @@ import numpy as np
 from ..chaos import ChaosConfig
 from ..cloud import CloudError, CostReport
 from ..comm import ChannelStats
+from ..telemetry import TelemetryConfig, Tracer
+from ..telemetry.export import critical_path as _trace_critical_path
 from ..workloads import InferenceQuery, SporadicWorkload
 from .backends import ServingBackend
 from .policies import SchedulingPolicy
@@ -135,6 +137,13 @@ class ServingConfig:
     #: are configured, exact loop otherwise), ``"fluid"`` (Tier-C analytic
     #: approximation; summaries are tagged).
     replay_mode: str = "exact"
+    #: opt-in virtual-timeline tracing (:class:`~repro.telemetry.TelemetryConfig`).
+    #: ``None`` -- the default -- installs nothing: every instrumentation
+    #: point is a single ``if tracer is not None`` gate, so telemetry-off
+    #: replays are byte-identical to the pre-telemetry serving layer.  The
+    #: exact loop and the columnar fast path emit the same span set; fluid
+    #: replays are analytic and record no trace.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent_queries is not None and self.max_concurrent_queries < 1:
@@ -219,6 +228,9 @@ class ServingReport:
     #: which replay tier produced this report (``None``/"exact" for the
     #: event loop); only ``"fluid"`` changes the summary fingerprint.
     replay_mode: Optional[str] = field(default=None, compare=False)
+    #: the :class:`~repro.telemetry.Tracer` that recorded this serve, when
+    #: ``ServingConfig(telemetry=...)`` was set; ``None`` otherwise.
+    telemetry: Optional[Tracer] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # sorted-latency memo: (record count, ascending latency array); the
@@ -509,7 +521,24 @@ class ServingReport:
                     violations / len(self.records) if self.records else None
                 )
             summary["chaos"] = chaos_summary
+        # Telemetry digest only on traced serves, so telemetry-off replays
+        # keep every historical fingerprint byte-for-byte.
+        if self.telemetry is not None:
+            summary["telemetry"] = self.telemetry.summary()
         return summary
+
+    def critical_path(self, query_id: int) -> List[Dict[str, object]]:
+        """Per-query latency breakdown (queue/attempt/backoff/tail segments).
+
+        Requires the serve to have been traced
+        (``ServingConfig(telemetry=...)``); raises :class:`ValueError` when
+        no trace was recorded.  Returns ``[]`` for an unknown query id.
+        """
+        if self.telemetry is None:
+            raise ValueError(
+                "no trace recorded: serve with ServingConfig(telemetry=TelemetryConfig())"
+            )
+        return _trace_critical_path(self.telemetry, query_id)
 
 
 def _split_cost(total: float, queries: Tuple[InferenceQuery, ...]) -> List[float]:
@@ -586,6 +615,18 @@ class InferenceServer:
         if chaos is not None:
             injector = chaos.build_injector(workload.horizon_seconds)
             self.backend.install_chaos(injector, chaos.channel_retry)
+        # Telemetry mirrors the chaos mount: one tracer per serve, installed
+        # on the backend's cloud before begin() so setup-phase channel ops
+        # are captured too; every use below is gated on ``tracer is not
+        # None`` so the untraced loop is byte-identical to before.
+        tracer: Optional[Tracer] = None
+        serve_span = None
+        if self.config.telemetry is not None:
+            tracer = self.config.telemetry.build_tracer()
+            self.backend.install_telemetry(tracer)
+            serve_span = tracer.begin_span(
+                "serve", track="server", start=0.0, backend=self.backend.name
+            )
         self.backend.begin(workload)
         # Tier-A outcome memoisation is opt-in and chaos is its hard
         # boundary: fault injection is time-positional, so a chaos serve
@@ -651,6 +692,27 @@ class InferenceServer:
                             failure_reason="deadline_exceeded",
                         )
                     )
+                if tracer is not None:
+                    tracer.event(
+                        "shed",
+                        track="server",
+                        t=now,
+                        query_id=leader.query_id,
+                        reason="deadline_exceeded",
+                    )
+                    for query in unit:
+                        tracer.record_span(
+                            "query",
+                            track="queries",
+                            start=query.arrival_time,
+                            end=now,
+                            parent=serve_span,
+                            query_id=query.query_id,
+                            neurons=query.neurons,
+                            samples=query.samples,
+                            outcome="shed",
+                            attempts=0,
+                        )
                 return
 
             retry = chaos.retry
@@ -669,6 +731,15 @@ class InferenceServer:
                     # them on the records too (partial billing).
                     aborted_cost += self.backend.attempt_abort(token)
                     error = caught
+                    if tracer is not None:
+                        tracer.event(
+                            "fault",
+                            track="server",
+                            t=dispatch_at,
+                            query_id=leader.query_id,
+                            error=type(caught).__name__,
+                            attempt=attempt,
+                        )
                     retry_at = None
                     if retry is not None and retry.should_retry(caught, attempt):
                         candidate = dispatch_at + retry.backoff_seconds(
@@ -680,6 +751,14 @@ class InferenceServer:
                             retry_at = candidate
                     if retry_at is None:
                         break
+                    if tracer is not None:
+                        tracer.event(
+                            "retry",
+                            track="server",
+                            t=retry_at,
+                            query_id=leader.query_id,
+                            attempt=attempt + 1,
+                        )
                     dispatch_at = retry_at
                     attempt += 1
 
@@ -708,6 +787,21 @@ class InferenceServer:
                             failure_reason=reason,
                         )
                     )
+                if tracer is not None:
+                    for query in unit:
+                        tracer.record_span(
+                            "query",
+                            track="queries",
+                            start=query.arrival_time,
+                            end=dispatch_at,
+                            parent=serve_span,
+                            query_id=query.query_id,
+                            neurons=query.neurons,
+                            samples=query.samples,
+                            outcome="failed",
+                            attempts=attempt,
+                            failure_reason=reason,
+                        )
                 in_flight += 1
                 heapq.heappush(events, (dispatch_at, _COMPLETION, seq, None))
                 seq += 1
@@ -734,6 +828,30 @@ class InferenceServer:
                         attempts=attempt,
                     )
                 )
+            if tracer is not None:
+                for query, outcome in zip(unit, outcomes):
+                    query_span = tracer.record_span(
+                        "query",
+                        track="queries",
+                        start=query.arrival_time,
+                        end=dispatch_at + outcome.latency_seconds,
+                        parent=serve_span,
+                        query_id=query.query_id,
+                        neurons=query.neurons,
+                        samples=query.samples,
+                        outcome="completed",
+                        attempts=attempt,
+                    )
+                    tracer.record_span(
+                        "attempt",
+                        track="queries",
+                        start=dispatch_at,
+                        end=dispatch_at + outcome.latency_seconds,
+                        parent=query_span,
+                        attempt=attempt,
+                        cold_starts=outcome.cold_starts,
+                        warm_starts=outcome.warm_starts,
+                    )
             in_flight += 1
             heapq.heappush(events, (finished, _COMPLETION, seq, None))
             seq += 1
@@ -751,6 +869,13 @@ class InferenceServer:
                 outcomes = self.backend.execute_batch(list(unit), at_time=now)
                 finished = now + outcomes[0].latency_seconds
                 group = tuple(query.query_id for query in unit) if len(unit) > 1 else ()
+                if tracer is not None and len(unit) > 1:
+                    tracer.event(
+                        "coalesced",
+                        track="server",
+                        t=now,
+                        group=list(group),
+                    )
                 for query, outcome in zip(unit, outcomes):
                     if outcome.channel_stats is not None:
                         channel_total.accumulate(outcome.channel_stats)
@@ -769,6 +894,29 @@ class InferenceServer:
                             tenant=query.tenant,
                         )
                     )
+                    if tracer is not None:
+                        query_span = tracer.record_span(
+                            "query",
+                            track="queries",
+                            start=query.arrival_time,
+                            end=now + outcome.latency_seconds,
+                            parent=serve_span,
+                            query_id=query.query_id,
+                            neurons=query.neurons,
+                            samples=query.samples,
+                            outcome="completed",
+                            attempts=1,
+                        )
+                        tracer.record_span(
+                            "attempt",
+                            track="queries",
+                            start=now,
+                            end=now + outcome.latency_seconds,
+                            parent=query_span,
+                            attempt=1,
+                            cold_starts=outcome.cold_starts,
+                            warm_starts=outcome.warm_starts,
+                        )
                 in_flight += 1
                 heapq.heappush(events, (finished, _COMPLETION, seq, None))
                 seq += 1
@@ -800,6 +948,9 @@ class InferenceServer:
                             if unit:
                                 pending.append(tuple(unit))
                 admit(now)
+                if tracer is not None:
+                    tracer.gauge_sample("server.queue_depth", float(len(pending)), now)
+                    tracer.gauge_sample("server.in_flight", float(in_flight), now)
 
             cost = self.backend.finish()
         finally:
@@ -807,6 +958,10 @@ class InferenceServer:
                 self.backend.set_outcome_caching(False)
         if chaos is not None:
             self.backend.clear_chaos()
+        if tracer is not None:
+            serve_end = max((record.finished_at for record in records), default=0.0)
+            tracer.end_span(serve_span, serve_end)
+            self.backend.clear_telemetry()
         return ServingReport(
             backend=self.backend.name,
             config=self.config,
@@ -819,4 +974,5 @@ class InferenceServer:
             peak_concurrent_workers=peak_overlap(self.backend.worker_intervals()),
             channel_stats=channel_total,
             fault_counts=dict(injector.injected_counts) if injector is not None else {},
+            telemetry=tracer,
         )

@@ -1,0 +1,41 @@
+"""Virtual-timeline tracing and metrics for the serving stack.
+
+See ``tracer`` for the recording side (spans/events/metrics on the
+simulated clock, gated so telemetry-off is byte-identical), ``export``
+for the Chrome trace-event / text / critical-path renderers, and ``cli``
+for the ``repro-trace`` entry point.
+"""
+
+from .export import (
+    as_trace_dict,
+    chrome_trace,
+    critical_path,
+    load_trace,
+    render_text_summary,
+    write_chrome_trace,
+)
+from .tracer import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Span,
+    TelemetryConfig,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Span",
+    "TelemetryConfig",
+    "TraceEvent",
+    "Tracer",
+    "as_trace_dict",
+    "chrome_trace",
+    "critical_path",
+    "load_trace",
+    "render_text_summary",
+    "write_chrome_trace",
+]

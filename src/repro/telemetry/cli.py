@@ -1,0 +1,88 @@
+"""``repro-trace`` / ``python -m repro.telemetry``: render a recorded trace.
+
+Input is a ``repro-trace-v1`` JSON file -- the ``Tracer.to_dict()`` payload
+a serve writes when telemetry is enabled (see ``examples/trace_query.py``
+and ``CampaignReport.export_traces``).  Output is either a Chrome
+trace-event JSON file for Perfetto / ``chrome://tracing`` or a text
+summary on stdout::
+
+    repro-trace serve.json --chrome serve.trace.json
+    repro-trace serve.json --top 10
+    repro-trace serve.json --query 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .export import critical_path, load_trace, render_text_summary, write_chrome_trace
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Render a recorded virtual-timeline trace "
+        "(repro-trace-v1 JSON) as a Chrome trace or a text summary.",
+    )
+    parser.add_argument("trace", help="path to a recorded repro-trace-v1 JSON file")
+    parser.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help="write Chrome trace-event JSON to PATH (load in Perfetto)",
+    )
+    parser.add_argument(
+        "--query",
+        type=int,
+        metavar="ID",
+        default=None,
+        help="print the critical-path breakdown of one query id",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="spans to show in the text summary (default 20)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        trace = load_trace(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro-trace: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.chrome is not None:
+        write_chrome_trace(trace, args.chrome)
+        print(f"wrote Chrome trace to {args.chrome} ({len(trace['spans'])} spans)")
+        return 0
+
+    if args.query is not None:
+        segments = critical_path(trace, args.query)
+        if not segments:
+            print(f"no span recorded for query {args.query}", file=sys.stderr)
+            return 1
+        total = segments[-1]["end"] - segments[0]["start"]
+        print(f"critical path of query {args.query} ({total:.3f}s simulated):")
+        for seg in segments:
+            print(
+                f"  {seg['duration']:10.3f}s  {seg['phase']:<10} "
+                f"[{seg['start']:.3f}, {seg['end']:.3f}]"
+            )
+        return 0
+
+    print(render_text_summary(trace, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

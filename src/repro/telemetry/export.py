@@ -1,0 +1,197 @@
+"""Exporters for recorded traces: Chrome trace-event JSON, text summaries,
+and per-query critical-path breakdowns.
+
+All exporters accept either a live :class:`~repro.telemetry.Tracer` or the
+plain dict produced by ``Tracer.to_dict()`` (the ``repro-trace-v1`` format
+the CLI reads back from disk), so a trace can be rendered in-process right
+after a serve or from a recorded artifact.
+
+The Chrome export targets the trace-event JSON format that Perfetto and
+``chrome://tracing`` load: one process (pid 1, the virtual timeline), one
+thread per track, ``"X"`` complete events for spans, ``"i"`` instants for
+events and ``"C"`` counter events for metric series.  Timestamps are
+simulated seconds scaled to microseconds -- the viewer's clock *is* the
+virtual clock.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from .tracer import Tracer
+
+__all__ = [
+    "as_trace_dict",
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_text_summary",
+    "critical_path",
+    "load_trace",
+]
+
+TraceLike = Union[Tracer, Dict[str, Any]]
+
+#: simulated seconds -> Chrome trace microseconds.
+_US = 1_000_000.0
+
+
+def as_trace_dict(trace: TraceLike) -> Dict[str, Any]:
+    """Normalise a live tracer or a recorded dict to the v1 trace dict."""
+    if isinstance(trace, Tracer):
+        return trace.to_dict()
+    if not isinstance(trace, dict) or "spans" not in trace:
+        raise ValueError(
+            "expected a Tracer or a repro-trace-v1 dict with a 'spans' key; "
+            f"got {type(trace).__name__}"
+        )
+    return trace
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Read a recorded ``repro-trace-v1`` JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return as_trace_dict(json.load(handle))
+
+
+def _track_ids(trace: Dict[str, Any]) -> Dict[str, int]:
+    """Deterministic track -> tid mapping (sorted names, tids from 1)."""
+    tracks = {span["track"] for span in trace["spans"]}
+    tracks.update(event["track"] for event in trace["events"])
+    return {track: tid for tid, track in enumerate(sorted(tracks), start=1)}
+
+
+def chrome_trace(trace: TraceLike) -> Dict[str, Any]:
+    """The trace as a Chrome trace-event JSON object (Perfetto-loadable)."""
+    trace = as_trace_dict(trace)
+    tids = _track_ids(trace)
+    trace_events: List[Dict[str, Any]] = []
+    for track in sorted(tids):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    for span in trace["spans"]:
+        end = span["end"] if span["end"] is not None else span["start"]
+        args = {"span_id": span["span_id"], "parent_id": span["parent_id"]}
+        args.update(span["attrs"])
+        trace_events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": span["start"] * _US,
+                "dur": (end - span["start"]) * _US,
+                "pid": 1,
+                "tid": tids[span["track"]],
+                "args": args,
+            }
+        )
+    for event in trace["events"]:
+        trace_events.append(
+            {
+                "name": event["name"],
+                "ph": "i",
+                "s": "t",
+                "ts": event["t"] * _US,
+                "pid": 1,
+                "tid": tids[event["track"]],
+                "args": dict(event["attrs"]),
+            }
+        )
+    metrics = trace.get("metrics", {})
+    for kind in ("counters", "gauges"):
+        for name in sorted(metrics.get(kind, {})):
+            for t, value in metrics[kind][name]["series"]:
+                trace_events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": t * _US,
+                        "pid": 1,
+                        "args": {"value": value},
+                    }
+                )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: TraceLike, path: str) -> None:
+    """Write the Chrome trace-event JSON next to the bench artifacts."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(trace), handle, indent=2)
+        handle.write("\n")
+
+
+def render_text_summary(trace: TraceLike, top: int = 20) -> str:
+    """Top-N spans by duration plus counter totals, as aligned text."""
+    trace = as_trace_dict(trace)
+    spans = [span for span in trace["spans"] if span["end"] is not None]
+    ranked = sorted(spans, key=lambda s: (-(s["end"] - s["start"]), s["span_id"]))[:top]
+    lines = [
+        f"trace: {len(trace['spans'])} spans, {len(trace['events'])} events",
+        f"top {len(ranked)} spans by simulated duration:",
+    ]
+    for span in ranked:
+        duration = span["end"] - span["start"]
+        lines.append(
+            f"  {duration:12.3f}s  {span['name']:<12} "
+            f"[{span['start']:.3f}, {span['end']:.3f}]  track={span['track']}"
+        )
+    counters = trace.get("metrics", {}).get("counters", {})
+    if counters:
+        lines.append("counter totals:")
+        for name in sorted(counters):
+            lines.append(f"  {counters[name]['total']:12.6f}  {name}")
+    return "\n".join(lines)
+
+
+def _query_span(trace: Dict[str, Any], query_id: int) -> Optional[Dict[str, Any]]:
+    for span in trace["spans"]:
+        if span["name"] == "query" and span["attrs"].get("query_id") == query_id:
+            return span
+    return None
+
+
+def critical_path(trace: TraceLike, query_id: int) -> List[Dict[str, Any]]:
+    """Per-phase breakdown of one query's simulated wall time.
+
+    Returns ordered segments covering the query span: queueing before the
+    first attempt, each attempt, and the inter-attempt gaps (retry backoff
+    under chaos).  Empty if the query has no span in this trace.
+    """
+    trace = as_trace_dict(trace)
+    query = _query_span(trace, query_id)
+    if query is None or query["end"] is None:
+        return []
+    attempts = sorted(
+        (
+            span
+            for span in trace["spans"]
+            if span["parent_id"] == query["span_id"] and span["end"] is not None
+        ),
+        key=lambda s: (s["start"], s["span_id"]),
+    )
+    segments: List[Dict[str, Any]] = []
+
+    def segment(phase: str, start: float, end: float, **extra: Any) -> None:
+        if end > start:
+            segments.append(
+                {"phase": phase, "start": start, "end": end, "duration": end - start, **extra}
+            )
+
+    cursor = query["start"]
+    for index, attempt in enumerate(attempts):
+        segment("queue" if index == 0 else "backoff", cursor, attempt["start"])
+        segment(
+            attempt["name"],
+            attempt["start"],
+            attempt["end"],
+            attempt=attempt["attrs"].get("attempt", index + 1),
+        )
+        cursor = attempt["end"]
+    segment("tail", cursor, query["end"])
+    return segments

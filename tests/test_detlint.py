@@ -64,6 +64,23 @@ class TestFixtureCorpus:
         assert symbols.count("check") == 1  # the ungated call
         assert symbols.count("mutation-before-gate") == 2
 
+    def test_det008_distinguishes_gate_and_mutation(self):
+        result = lint_fixture("det008_fire.py")
+        symbols = [f.symbol for f in result.findings]
+        assert symbols.count("channel_op") == 1  # the ungated call
+        assert symbols.count("mutation-before-gate") == 2
+
+    def test_det008_only_bites_in_cloud_services(self):
+        # The serving layer holds `tracer` in plain locals without the gate
+        # idiom (it builds the tracer itself); DET008 is scoped to cloud/.
+        ungated = (
+            "class C:\n"
+            "    def f(self, clock):\n"
+            "        self._telemetry.tracer.channel_op('q', 'op', 'r', clock.now)\n"
+        )
+        assert lint_source(ungated, "src/repro/serving/server.py").findings == []
+        assert lint_source(ungated, "src/repro/cloud/queues.py").findings != []
+
     def test_det007_flags_each_container_kind(self):
         result = lint_fixture("det007_fire.py")
         assert {f.symbol for f in result.findings} == {
@@ -312,7 +329,7 @@ class TestCli:
 
 class TestRuleFramework:
     def test_rule_ids_are_stable_and_unique(self):
-        assert RULE_IDS == tuple(f"DET00{i}" for i in range(1, 8))
+        assert RULE_IDS == tuple(f"DET00{i}" for i in range(1, 9))
 
     def test_every_rule_documents_its_invariant(self):
         for row in rule_table():

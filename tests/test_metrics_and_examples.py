@@ -74,7 +74,12 @@ class TestInferenceMetrics:
 
 @pytest.mark.parametrize(
     "example",
-    ["quickstart.py", "partitioning_study.py", "cost_model_walkthrough.py"],
+    [
+        "quickstart.py",
+        "partitioning_study.py",
+        "cost_model_walkthrough.py",
+        "trace_query.py",
+    ],
 )
 def test_examples_run_end_to_end(example, capsys):
     """The shipped examples execute without errors and produce output."""
