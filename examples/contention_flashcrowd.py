@@ -1,0 +1,144 @@
+"""Flash-crowd contention study: serialized vs interleaved execution.
+
+The serialized serving loop replays one query at a time on the shared
+timeline: every query observes its *solo* latency, no matter how many are
+in flight together.  The concurrency engine interleaves in-flight queries'
+sub-event streams and runs them through a deterministic fair-share arbiter:
+an op overlapping ``k`` peers on a capacity-``c`` resource takes ``k/c``
+times its solo latency (processor sharing), recomputed at every
+entry/exit boundary.
+
+This walkthrough hits the same flash crowd -- a burst of near-simultaneous
+queries -- three ways:
+
+1. **serialized** (the default): the baseline tail latency,
+2. **interleaved, unbounded**: ``ConcurrencyConfig()`` with every capacity
+   infinite -- byte-identical to the serialized loop (the gating contract
+   the subsystem is built on), and
+3. **interleaved, contended**: a platform FaaS concurrent-invocation quota
+   far below the crowd's demand -- the tail inflates deterministically and
+   the summary gains a ``"concurrency"`` block with per-resource peaks.
+
+Run with::
+
+    PYTHONPATH=src python examples/contention_flashcrowd.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CloudEnvironment,
+    ConcurrencyConfig,
+    ContentionConfig,
+    EngineConfig,
+    FSDServingBackend,
+    GraphChallengeConfig,
+    InferenceQuery,
+    InferenceServer,
+    QueryWorkloadFactory,
+    ServingConfig,
+    SporadicWorkload,
+    Variant,
+    build_graph_challenge_model,
+)
+
+NEURONS = 64
+LAYERS = 3
+BATCH = 4
+CROWD = 10  # queries in the flash crowd
+SPACING_SECONDS = 0.05  # far below a query's service time: all in flight together
+
+#: the contended run's capacities: the whole crowd's worker trees share a
+#: platform quota of 4 concurrent FaaS invocations.
+CONTENTION = ContentionConfig(faas_invocations=4.0)
+
+
+def build_backend():
+    model = build_graph_challenge_model(
+        GraphChallengeConfig(
+            neurons=NEURONS, layers=LAYERS, nnz_per_row=8, num_communities=8, seed=7
+        )
+    )
+    return FSDServingBackend(
+        CloudEnvironment(),
+        QueryWorkloadFactory(model_builder=lambda n: model),
+        config_for=lambda n: EngineConfig(variant=Variant.QUEUE, workers=2),
+    )
+
+
+def flash_crowd() -> SporadicWorkload:
+    return SporadicWorkload(
+        queries=[
+            InferenceQuery(
+                query_id=i,
+                arrival_time=SPACING_SECONDS * i,
+                neurons=NEURONS,
+                samples=BATCH,
+            )
+            for i in range(CROWD)
+        ]
+    )
+
+
+def main() -> None:
+    workload = flash_crowd()
+
+    serialized = InferenceServer(build_backend()).serve(workload)
+    unbounded = InferenceServer(
+        build_backend(), ServingConfig(concurrency=ConcurrencyConfig())
+    ).serve(workload)
+    contended = InferenceServer(
+        build_backend(),
+        ServingConfig(concurrency=ConcurrencyConfig(contention=CONTENTION)),
+    ).serve(workload)
+
+    # The gating contract, demonstrated live: an unbounded interleaved serve
+    # is bit-for-bit the serialized loop.
+    assert unbounded.records == serialized.records
+    assert unbounded.summary() == serialized.summary()
+    assert "concurrency" not in unbounded.summary()
+
+    print(f"flash crowd: {CROWD} queries arriving {SPACING_SECONDS:.2f}s apart\n")
+    print("| serve | p50 latency | p99 latency | makespan | cost |")
+    print("|" + " --- |" * 5)
+    for name, report in (
+        ("serialized", serialized),
+        ("interleaved (unbounded)", unbounded),
+        ("interleaved (faas quota 4)", contended),
+    ):
+        summary = report.summary()
+        print(
+            f"| {name} | {summary['p50_latency_seconds']:.3f}s "
+            f"| {summary['p99_latency_seconds']:.3f}s "
+            f"| {summary['makespan_seconds']:.3f}s "
+            f"| ${summary['cost_total']:.6f} |"
+        )
+
+    block = contended.summary()["concurrency"]
+    assert contended.summary()["p99_latency_seconds"] > serialized.summary()["p99_latency_seconds"]
+    # Contention stretches the serving timeline, never the substrate's bill.
+    assert contended.cost.total == serialized.cost.total
+
+    faas = block["resources"]["faas"]
+    print()
+    print(
+        f"contended run: {block['interfered_query_count']} of {CROWD} queries "
+        f"interfered, {block['interference_total_seconds']:.1f}s total interference "
+        f"(max {block['interference_max_seconds']:.1f}s on one query)"
+    )
+    print(
+        f"faas quota: peak demand {faas['peak_weight']:.0f} concurrent invocations "
+        f"against capacity {faas['capacity']:.0f} "
+        f"(peak utilization {faas['peak_utilization']:.1f}x, "
+        f"peak backlog {faas['peak_backlog']:.0f})"
+    )
+    print()
+    print(
+        "the unbounded interleave reproduced the serialized loop bit-for-bit; "
+        "only finite capacities can stretch a timeline, and the same seed "
+        "stretches it identically on every replay."
+    )
+
+
+if __name__ == "__main__":
+    main()

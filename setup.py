@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.chaos",
     "repro.cloud",
     "repro.comm",
+    "repro.concurrency",
     "repro.core",
     "repro.costmodel",
     "repro.experiments",
@@ -32,12 +33,12 @@ PACKAGES = [
 
 setup(
     name="fsd-repro",
-    version="0.9.0",
+    version="0.10.0",
     description=(
         "Reproduction of cloud-based distributed matrix multiplication "
         "serving (FSD) with deterministic simulation, chaos injection, "
-        "SLO planning, virtual-timeline tracing, and the detlint "
-        "determinism linter"
+        "SLO planning, virtual-timeline tracing, concurrent-execution "
+        "contention modelling, and the detlint determinism linter"
     ),
     package_dir={"": "src"},
     packages=PACKAGES,

@@ -63,6 +63,11 @@ from .comm import (
     QueueChannelConfig,
     ThreadPool,
 )
+from .concurrency import (
+    ConcurrencyConfig,
+    ContentionConfig,
+    FairShareArbiter,
+)
 from .core import (
     EngineConfig,
     FSDInference,
@@ -176,6 +181,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # concurrency
+    "ConcurrencyConfig",
+    "ContentionConfig",
+    "FairShareArbiter",
     # chaos
     "ChaosConfig",
     "ColdStartStorm",

@@ -508,6 +508,22 @@ class TracerGateRule(InjectorGateRule):
     gate_noun = "telemetry gate"
 
 
+class ArbiterGateRule(InjectorGateRule):
+    id = "DET009"
+    title = "arbiter use without the `is not None` gate"
+    invariant = (
+        "Contention-off must be byte-identical: every contention hook in a "
+        "cloud service is a single `if arbiter is not None` check, and no "
+        "instance state may be mutated before the contention decision.  An "
+        "ungated arbiter call, or a mutation before the gate, breaks the "
+        "serialized-replay fingerprint contract of the concurrency engine."
+    )
+
+    hook_attr = "arbiter"
+    off_label = "contention-off"
+    gate_noun = "contention gate"
+
+
 class ClosureFactoryRule(Rule):
     id = "DET006"
     title = "lambda/closure registered as a campaign or planner factory"
@@ -716,6 +732,7 @@ ALL_RULES: Tuple[type, ...] = (
     ClosureFactoryRule,
     ModuleMutableStateRule,
     TracerGateRule,
+    ArbiterGateRule,
 )
 
 ALL_RULE_IDS: frozenset = frozenset({"DET000"} | {rule.id for rule in ALL_RULES})

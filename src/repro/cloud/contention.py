@@ -1,0 +1,52 @@
+"""Per-environment mount point for the concurrency engine's op collector.
+
+The exact analogue of :class:`~repro.cloud.telemetry.TelemetryDomain` and
+:class:`~repro.cloud.faults.FaultDomain`: the cloud services know nothing
+about interleaving or fair sharing -- that lives in
+:mod:`repro.concurrency`.  What they share is one :class:`ContentionDomain`
+per :class:`~repro.cloud.CloudEnvironment`: a tiny mutable holder every
+service (and every queue/topic/bucket it creates) keeps a reference to.
+The interleaved serve loop installs an op collector around each unit's
+solo execution; every channel op and FaaS invocation then reports its
+``(resource, start, end)`` span so the fair-share arbiter can stretch
+overlapping timelines afterwards.
+
+With nothing installed (the default -- and always, for the serialized
+loop) every hook is a single attribute check that takes the no-op branch,
+so a contention-off run executes the exact same service code -- and
+produces the exact same clocks, bills and fingerprints -- as before the
+concurrency engine existed.  detlint's DET009 enforces the gate shape
+(``if arbiter is not None`` before any state mutation) the same way
+DET005 does for the chaos injector and DET008 for the tracer.
+
+The collector is duck-typed (any object with ``channel_op`` and
+``invocation``); the canonical implementation lives in
+:mod:`repro.concurrency.interleave`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["ContentionDomain"]
+
+
+class ContentionDomain:
+    """Mutable op-collector mount shared by every service of one environment."""
+
+    __slots__ = ("arbiter",)
+
+    def __init__(self) -> None:
+        self.arbiter: Optional[Any] = None
+
+    def install(self, arbiter: Any) -> None:
+        """Arm every contention instrumentation point of this environment."""
+        self.arbiter = arbiter
+
+    def clear(self) -> None:
+        """Disarm all contention points (back to uncollected behaviour)."""
+        self.arbiter = None
+
+    @property
+    def armed(self) -> bool:
+        return self.arbiter is not None

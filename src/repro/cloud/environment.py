@@ -16,6 +16,7 @@ from typing import Optional
 
 from .billing import BillingLedger, CostReport
 from .blockstore import BlockStorageService
+from .contention import ContentionDomain
 from .faas import FaaSPlatform
 from .faults import FaultDomain
 from .objectstore import ObjectStorageService
@@ -61,6 +62,10 @@ class CloudEnvironment:
         #: one fault domain shared by every service: installing a chaos
         #: injector here arms all interception points of this environment.
         self.faults = FaultDomain()
+        #: one contention domain shared by the four channel services:
+        #: installing the concurrency engine's op collector here arms all
+        #: contention instrumentation points of this environment.
+        self.contention = ContentionDomain()
         self.faas = FaaSPlatform(
             self.ledger,
             self.latency,
@@ -69,15 +74,31 @@ class CloudEnvironment:
             warm_keepalive_seconds=faas_warm_keepalive_seconds,
             faults=self.faults,
             telemetry=self.telemetry,
+            contention=self.contention,
         )
         self.pubsub = PubSubService(
-            self.ledger, self.latency, self.prices, faults=self.faults, telemetry=self.telemetry
+            self.ledger,
+            self.latency,
+            self.prices,
+            faults=self.faults,
+            telemetry=self.telemetry,
+            contention=self.contention,
         )
         self.queues = QueueService(
-            self.ledger, self.latency, self.prices, faults=self.faults, telemetry=self.telemetry
+            self.ledger,
+            self.latency,
+            self.prices,
+            faults=self.faults,
+            telemetry=self.telemetry,
+            contention=self.contention,
         )
         self.object_storage = ObjectStorageService(
-            self.ledger, self.latency, self.prices, faults=self.faults, telemetry=self.telemetry
+            self.ledger,
+            self.latency,
+            self.prices,
+            faults=self.faults,
+            telemetry=self.telemetry,
+            contention=self.contention,
         )
         self.block_storage = BlockStorageService(
             self.ledger, self.latency, self.prices, faults=self.faults, telemetry=self.telemetry
@@ -103,6 +124,16 @@ class CloudEnvironment:
     def clear_telemetry(self) -> None:
         """Disarm telemetry (back to the untraced substrate)."""
         self.telemetry.clear()
+
+    # -- contention ----------------------------------------------------------------
+
+    def install_contention(self, arbiter) -> None:
+        """Arm every contention instrumentation point of this environment."""
+        self.contention.install(arbiter)
+
+    def clear_contention(self) -> None:
+        """Disarm contention collection (back to the uncollected substrate)."""
+        self.contention.clear()
 
     # -- convenience ---------------------------------------------------------------
 

@@ -47,6 +47,7 @@ from .errors import (
     ResourceAlreadyExistsError,
     ResourceNotFoundError,
 )
+from .contention import ContentionDomain
 from .faults import FaultDomain
 from .pricing import PriceBook
 from .telemetry import TelemetryDomain
@@ -262,12 +263,14 @@ class FaaSPlatform:
         warm_keepalive_seconds: Optional[float] = None,
         faults: Optional[FaultDomain] = None,
         telemetry: Optional[TelemetryDomain] = None,
+        contention: Optional[ContentionDomain] = None,
     ):
         self.ledger = ledger
         self.latency = latency
         self.prices = prices
         self.faults = faults or FaultDomain()
         self.telemetry = telemetry or TelemetryDomain()
+        self.contention = contention or ContentionDomain()
         self.concurrency_limit = concurrency_limit
         #: None keeps the legacy timeless reuse rule; a number makes warm
         #: reuse depend on the idle gap between invocations (shared timeline).
@@ -450,6 +453,9 @@ class FaaSPlatform:
                 1.0,
                 ended_at,
             )
+        arbiter = self.contention.arbiter
+        if arbiter is not None:
+            arbiter.invocation(invocation.function_name, invocation.started_at, ended_at)
         self._active_invocations = max(0, self._active_invocations - 1)
         if invocation.failed_reason != "preempted":
             self._warm_environments.setdefault(invocation.function_name, []).append(

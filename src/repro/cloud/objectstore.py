@@ -30,6 +30,7 @@ from .errors import (
     ResourceAlreadyExistsError,
     ResourceNotFoundError,
 )
+from .contention import ContentionDomain
 from .faults import FaultDomain
 from .pricing import PriceBook
 from .telemetry import TelemetryDomain
@@ -71,6 +72,7 @@ class Bucket:
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
         telemetry: Optional[TelemetryDomain] = None,
+        contention: Optional[ContentionDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
@@ -78,6 +80,7 @@ class Bucket:
         self._prices = prices
         self._faults = faults or FaultDomain()
         self._telemetry = telemetry or TelemetryDomain()
+        self._contention = contention or ContentionDomain()
         self._objects: Dict[str, StoredObject] = {}
         self.total_put_requests = 0
         self.total_get_requests = 0
@@ -103,13 +106,17 @@ class Bucket:
         """Write (or overwrite) an object; bills one PUT request."""
         if not key:
             raise InvalidRequestError("object key cannot be empty")
-        clock.advance(self._latency.object_put(len(data)))
+        duration = self._latency.object_put(len(data))
+        clock.advance(duration)
         injector = self._faults.injector
         if injector is not None:
             injector.check("object", "put", self.name, clock.now)
         tracer = self._telemetry.tracer
         if tracer is not None:
             tracer.channel_op("object", "put", self.name, clock.now, bytes=len(data))
+        arbiter = self._contention.arbiter
+        if arbiter is not None:
+            arbiter.channel_op("object", "put", self.name, clock.now, duration)
         self._objects[key] = StoredObject(key=key, data=bytes(data), visible_at=clock.now)
         self.total_put_requests += 1
         self.total_bytes_written += len(data)
@@ -143,6 +150,17 @@ class Bucket:
         tracer = self._telemetry.tracer
         if tracer is not None:
             tracer.channel_op("object", "get", self.name, clock.now)
+        # Same DET009 discipline: the arbiter gate precedes the mutating
+        # branches below, so the transfer span is computed from a pure probe
+        # of the store (visibility uses the same pre-advance clock as the
+        # 404 check).  Chaos and concurrency are mutually exclusive, so the
+        # injector's fault path never runs while the arbiter is armed.
+        arbiter = self._contention.arbiter
+        if arbiter is not None:
+            probe = self._objects.get(key)
+            visible = probe is not None and probe.visible_at <= clock.now
+            duration = self._latency.object_get(probe.size_bytes if visible else 0)
+            arbiter.channel_op("object", "get", self.name, clock.now + duration, duration)
         injector = self._faults.injector
         if injector is not None:
             try:
@@ -169,10 +187,14 @@ class Bucket:
 
     def list_objects(self, prefix: str, clock: VirtualClock) -> List[ObjectHandle]:
         """List visible objects under ``prefix``; bills one LIST request."""
-        clock.advance(self._latency.object_list())
+        duration = self._latency.object_list()
+        clock.advance(duration)
         tracer = self._telemetry.tracer
         if tracer is not None:
             tracer.channel_op("object", "list", self.name, clock.now)
+        arbiter = self._contention.arbiter
+        if arbiter is not None:
+            arbiter.channel_op("object", "list", self.name, clock.now, duration)
         self.total_list_requests += 1
         self._bill("list", self._prices.object_price_per_list, clock.now)
         handles = [
@@ -224,12 +246,14 @@ class ObjectStorageService:
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
         telemetry: Optional[TelemetryDomain] = None,
+        contention: Optional[ContentionDomain] = None,
     ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
         self._telemetry = telemetry or TelemetryDomain()
+        self._contention = contention or ContentionDomain()
         self._buckets: Dict[str, Bucket] = {}
 
     def create_bucket(self, name: str) -> Bucket:
@@ -242,6 +266,7 @@ class ObjectStorageService:
             self._prices,
             faults=self._faults,
             telemetry=self._telemetry,
+            contention=self._contention,
         )
         self._buckets[name] = bucket
         return bucket

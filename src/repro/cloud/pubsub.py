@@ -30,6 +30,7 @@ from .errors import (
     ResourceAlreadyExistsError,
     ResourceNotFoundError,
 )
+from .contention import ContentionDomain
 from .faults import FaultDomain
 from .pricing import PriceBook
 from .queues import AttributeValue, Queue, QueueMessage
@@ -96,6 +97,7 @@ class Topic:
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
         telemetry: Optional[TelemetryDomain] = None,
+        contention: Optional[ContentionDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
@@ -103,6 +105,7 @@ class Topic:
         self._prices = prices
         self._faults = faults or FaultDomain()
         self._telemetry = telemetry or TelemetryDomain()
+        self._contention = contention or ContentionDomain()
         self._subscriptions: List[Subscription] = []
         self.total_publish_calls = 0
         self.total_messages_published = 0
@@ -138,7 +141,8 @@ class Topic:
         if payload_bytes > MAX_PUBLISH_BYTES:
             raise PayloadTooLargeError(payload_bytes, MAX_PUBLISH_BYTES, "pubsub")
 
-        clock.advance(self._latency.pubsub_publish(payload_bytes))
+        duration = self._latency.pubsub_publish(payload_bytes)
+        clock.advance(duration)
         injector = self._faults.injector
         if injector is not None:
             injector.check("pubsub", "publish", self.name, clock.now)
@@ -148,6 +152,9 @@ class Topic:
                 "pubsub", "publish", self.name, clock.now,
                 messages=len(messages), bytes=payload_bytes,
             )
+        arbiter = self._contention.arbiter
+        if arbiter is not None:
+            arbiter.channel_op("pubsub", "publish", self.name, clock.now, duration)
         self.total_publish_calls += 1
         self.total_messages_published += len(messages)
 
@@ -204,12 +211,14 @@ class PubSubService:
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
         telemetry: Optional[TelemetryDomain] = None,
+        contention: Optional[ContentionDomain] = None,
     ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
         self._telemetry = telemetry or TelemetryDomain()
+        self._contention = contention or ContentionDomain()
         self._topics: Dict[str, Topic] = {}
 
     def create_topic(self, name: str) -> Topic:
@@ -222,6 +231,7 @@ class PubSubService:
             self._prices,
             faults=self._faults,
             telemetry=self._telemetry,
+            contention=self._contention,
         )
         self._topics[name] = topic
         return topic

@@ -31,6 +31,7 @@ from .errors import (
     ResourceAlreadyExistsError,
     ResourceNotFoundError,
 )
+from .contention import ContentionDomain
 from .faults import FaultDomain
 from .pricing import PriceBook
 from .telemetry import TelemetryDomain
@@ -80,6 +81,7 @@ class Queue:
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
         telemetry: Optional[TelemetryDomain] = None,
+        contention: Optional[ContentionDomain] = None,
     ):
         self.name = name
         self._ledger = ledger
@@ -87,6 +89,7 @@ class Queue:
         self._prices = prices
         self._faults = faults or FaultDomain()
         self._telemetry = telemetry or TelemetryDomain()
+        self._contention = contention or ContentionDomain()
         self._messages: List[QueueMessage] = []
         self.total_messages_received = 0
         self.total_api_calls = 0
@@ -115,7 +118,8 @@ class Queue:
     def send(self, message: QueueMessage, clock: VirtualClock) -> None:
         """Send one message directly to the queue (bypassing any pub/sub topic)."""
         self._validate_message(message)
-        clock.advance(self._latency.queue_send(message.size_bytes))
+        duration = self._latency.queue_send(message.size_bytes)
+        clock.advance(duration)
         injector = self._faults.injector
         if injector is not None:
             injector.check("queue", "send", self.name, clock.now)
@@ -124,6 +128,9 @@ class Queue:
             tracer.channel_op("queue", "send", self.name, clock.now, bytes=message.size_bytes)
             # +1: the message is appended just below, on the same timestamp.
             tracer.gauge_sample(f"queue.depth.{self.name}", len(self._messages) + 1, clock.now)
+        arbiter = self._contention.arbiter
+        if arbiter is not None:
+            arbiter.channel_op("queue", "send", self.name, clock.now, duration)
         message.available_at = max(message.available_at, clock.now)
         self._messages.append(message)
         self._bill("send", message.size_bytes, clock.now)
@@ -163,13 +170,17 @@ class Queue:
                 f"wait_seconds must be between 0 and {MAX_WAIT_SECONDS}, got {wait_seconds}"
             )
 
-        clock.advance(self._latency.queue_receive())
+        duration = self._latency.queue_receive()
+        clock.advance(duration)
         injector = self._faults.injector
         if injector is not None:
             injector.check("queue", "receive", self.name, clock.now)
         tracer = self._telemetry.tracer
         if tracer is not None:
             tracer.channel_op("queue", "receive", self.name, clock.now)
+        arbiter = self._contention.arbiter
+        if arbiter is not None:
+            arbiter.channel_op("queue", "receive", self.name, clock.now, duration)
         visible = self._visible_messages(clock.now)
 
         if not visible and wait_seconds > 0:
@@ -236,12 +247,14 @@ class QueueService:
         prices: PriceBook,
         faults: Optional[FaultDomain] = None,
         telemetry: Optional[TelemetryDomain] = None,
+        contention: Optional[ContentionDomain] = None,
     ):
         self._ledger = ledger
         self._latency = latency
         self._prices = prices
         self._faults = faults or FaultDomain()
         self._telemetry = telemetry or TelemetryDomain()
+        self._contention = contention or ContentionDomain()
         self._queues: Dict[str, Queue] = {}
 
     def create_queue(self, name: str) -> Queue:
@@ -254,6 +267,7 @@ class QueueService:
             self._prices,
             faults=self._faults,
             telemetry=self._telemetry,
+            contention=self._contention,
         )
         self._queues[name] = queue
         return queue

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..chaos import ChaosConfig
+from ..concurrency import ConcurrencyConfig
 from ..serving import InferenceServer, SchedulingPolicy, ServingBackend, ServingConfig
 from ..telemetry import TelemetryConfig
 from ..telemetry.export import write_chrome_trace
@@ -67,12 +68,18 @@ class CampaignCell:
     #: name of the chaos set this cell ran under; ``"none"`` (the default)
     #: keeps pre-chaos cell identities -- and their fingerprints -- unchanged.
     chaos: str = "none"
+    #: name of the concurrency set this cell ran under; ``"none"`` (the
+    #: default) keeps pre-concurrency cell identities unchanged, exactly
+    #: like the chaos axis.
+    concurrency: str = "none"
 
     @property
     def label(self) -> str:
         base = f"{self.scenario}/{self.backend}/{self.policy_set}"
         if self.chaos != "none":
-            return f"{base}/{self.chaos}"
+            base = f"{base}/{self.chaos}"
+        if self.concurrency != "none":
+            base = f"{base}/{self.concurrency}"
         return base
 
 
@@ -150,6 +157,10 @@ class CellResult:
         # Chaos-free cells keep their historical hash input byte-for-byte.
         if self.cell.chaos != "none":
             payload["chaos"] = self.cell.chaos
+        # Same rule for the concurrency axis: serialized cells (the default)
+        # keep their historical hash input untouched.
+        if self.cell.concurrency != "none":
+            payload["concurrency"] = self.cell.concurrency
         # Same pattern for memoised replays: cache-off cells (the default)
         # keep their historical hash input untouched.
         if self.outcome_cache:
@@ -170,6 +181,8 @@ class CellResult:
         }
         if self.cell.chaos != "none":
             exported["chaos"] = self.cell.chaos
+        if self.cell.concurrency != "none":
+            exported["concurrency"] = self.cell.concurrency
         if self.outcome_cache:
             exported["outcome_cache"] = True
         return exported
@@ -209,6 +222,10 @@ class CampaignReport:
     def chaos_sets(self) -> List[str]:
         return self._ordered_unique(result.cell.chaos for result in self.cells)
 
+    @property
+    def concurrency_sets(self) -> List[str]:
+        return self._ordered_unique(result.cell.concurrency for result in self.cells)
+
     @staticmethod
     def _ordered_unique(values) -> List[str]:
         seen: Dict[str, None] = {}
@@ -217,13 +234,20 @@ class CampaignReport:
         return list(seen)
 
     def cell(
-        self, scenario: str, backend: str, policy_set: str = "none", chaos: str = "none"
+        self,
+        scenario: str,
+        backend: str,
+        policy_set: str = "none",
+        chaos: str = "none",
+        concurrency: str = "none",
     ) -> CellResult:
         """The result at one grid coordinate (``KeyError`` if absent)."""
         for result in self.cells:
-            if result.cell == CampaignCell(scenario, backend, policy_set, chaos):
+            if result.cell == CampaignCell(scenario, backend, policy_set, chaos, concurrency):
                 return result
-        raise KeyError(f"no campaign cell {scenario}/{backend}/{policy_set}/{chaos}")
+        raise KeyError(
+            f"no campaign cell {scenario}/{backend}/{policy_set}/{chaos}/{concurrency}"
+        )
 
     # -- pivots ----------------------------------------------------------------
 
@@ -264,6 +288,9 @@ class CampaignReport:
         chaos_sets = self.chaos_sets
         if chaos_sets != ["none"]:
             exported["chaos_sets"] = chaos_sets
+        concurrency_sets = self.concurrency_sets
+        if concurrency_sets != ["none"]:
+            exported["concurrency_sets"] = concurrency_sets
         return exported
 
     def to_json(self, path: Optional[Union[str, "os.PathLike[str]"]] = None, indent: int = 2) -> str:
@@ -331,6 +358,7 @@ class Campaign:
         replay_mode: str = "exact",
         outcome_cache: bool = False,
         telemetry: Optional[TelemetryConfig] = None,
+        concurrency_sets: Optional[Mapping[str, Optional[ConcurrencyConfig]]] = None,
     ):
         if isinstance(scenarios, Mapping):
             self.scenarios: Dict[str, object] = dict(scenarios)
@@ -362,6 +390,23 @@ class Campaign:
         )
         if not self.chaos_sets:
             raise ValueError("a campaign needs at least one chaos set")
+        # Concurrency axis, mirroring the chaos axis: named
+        # ConcurrencyConfigs crossed with every other coordinate.  The two
+        # axes are mutually exclusive grid-wide because their cross cells
+        # could never serve (ServingConfig rejects chaos + concurrency).
+        self.concurrency_sets: Dict[str, Optional[ConcurrencyConfig]] = dict(
+            concurrency_sets if concurrency_sets is not None else {"none": None}
+        )
+        if not self.concurrency_sets:
+            raise ValueError("a campaign needs at least one concurrency set")
+        if any(config is not None for config in self.chaos_sets.values()) and any(
+            config is not None for config in self.concurrency_sets.values()
+        ):
+            raise ValueError(
+                "chaos_sets and concurrency_sets cannot both carry non-None "
+                "configs: their cross cells would be unservable (ServingConfig "
+                "rejects chaos together with concurrency)"
+            )
         # Replay-speed knobs, threaded into every cell's ServingConfig.
         # ``replay_mode`` picks the event core ("exact", "auto"/"columnar"
         # fast path, or the "fluid" analytic approximation); ``outcome_cache``
@@ -383,11 +428,18 @@ class Campaign:
     def cells(self) -> List[CampaignCell]:
         """The grid in deterministic scenario-major order."""
         return [
-            CampaignCell(scenario=scenario, backend=backend, policy_set=policy_set, chaos=chaos)
+            CampaignCell(
+                scenario=scenario,
+                backend=backend,
+                policy_set=policy_set,
+                chaos=chaos,
+                concurrency=concurrency,
+            )
             for scenario in self.scenarios
             for backend in self.backends
             for policy_set in self.policy_sets
             for chaos in self.chaos_sets
+            for concurrency in self.concurrency_sets
         ]
 
     def _validate_cells(self, cells: Sequence[CampaignCell]) -> List[CampaignCell]:
@@ -400,6 +452,8 @@ class Campaign:
                 raise KeyError(f"cell names unknown policy set {cell.policy_set!r}")
             if cell.chaos not in self.chaos_sets:
                 raise KeyError(f"cell names unknown chaos set {cell.chaos!r}")
+            if cell.concurrency not in self.concurrency_sets:
+                raise KeyError(f"cell names unknown concurrency set {cell.concurrency!r}")
         return list(cells)
 
     def run_cell(self, cell: CampaignCell) -> CellResult:
@@ -413,6 +467,7 @@ class Campaign:
         chaos = self.chaos_sets[cell.chaos]
         if chaos is None:
             chaos = getattr(scenario, "chaos", None)
+        concurrency = self.concurrency_sets[cell.concurrency]
         server = InferenceServer(
             backend,
             ServingConfig(
@@ -422,6 +477,7 @@ class Campaign:
                 replay_mode=self.replay_mode,
                 outcome_cache=self.outcome_cache,
                 telemetry=self.telemetry,
+                concurrency=concurrency,
             ),
         )
         start = time.perf_counter()

@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Union
 from ..costmodel import CandidateEstimate, WorkloadStats, estimate_candidate
 from ..experiments import Campaign, CampaignCell
 from ..serving import PolicySetSpec
+from ..concurrency import ConcurrencyConfig
 from ..telemetry import TelemetryConfig
 from .calibration import BackendCalibration, calibrate_backend, estimate_cold_fraction
 from .space import PlanCandidate, SearchSpace, SLOSpec, SLOVerdict, pareto_indices
@@ -225,6 +226,7 @@ class DeploymentPlanner:
         executor: str = "thread",
         max_workers: Optional[int] = None,
         telemetry: Optional["TelemetryConfig"] = None,
+        concurrency: Optional["ConcurrencyConfig"] = None,
     ):
         if refine_rounds < 0:
             raise ValueError("refine_rounds cannot be negative")
@@ -244,6 +246,10 @@ class DeploymentPlanner:
         # cell records a trace (``CampaignReport.export_traces``).  ``None``
         # keeps the planner's replays untraced and byte-identical.
         self.telemetry = telemetry
+        # Opt-in interleaved replay for the Stage-2 campaign: finalists are
+        # evaluated under contention so the ranking reflects interference.
+        # ``None`` keeps the serialized replays byte-identical.
+        self.concurrency = concurrency
 
     # -- analytic stage --------------------------------------------------------
 
@@ -414,9 +420,18 @@ class DeploymentPlanner:
                     for candidate in replayed
                 },
                 telemetry=self.telemetry,
+                concurrency_sets=(
+                    None if self.concurrency is None else {"contended": self.concurrency}
+                ),
             )
+            concurrency_set = "none" if self.concurrency is None else "contended"
             cells = [
-                CampaignCell(scenario=scenario.name, backend=c.label, policy_set=c.label)
+                CampaignCell(
+                    scenario=scenario.name,
+                    backend=c.label,
+                    policy_set=c.label,
+                    concurrency=concurrency_set,
+                )
                 for c in replayed
             ]
             campaign_report = campaign.run(

@@ -40,6 +40,7 @@ from .replaycore import (
     batch_fingerprint,
     peak_overlap_arrays,
 )
+from ..concurrency import ConcurrencyConfig, ContentionConfig
 from .server import (
     InferenceServer,
     QueryRecord,
@@ -74,6 +75,8 @@ __all__ = [
     "ReportColumns",
     "batch_fingerprint",
     "peak_overlap_arrays",
+    "ConcurrencyConfig",
+    "ContentionConfig",
     "InferenceServer",
     "QueryRecord",
     "ServingConfig",

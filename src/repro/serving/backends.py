@@ -224,6 +224,25 @@ class ServingBackend(ABC):
         if cloud is not None:
             cloud.clear_telemetry()
 
+    # -- contention hooks ----------------------------------------------------
+    #
+    # Same shape again: the interleaved serve loop mounts an op collector
+    # around each unit's solo execution so the fair-share arbiter can stretch
+    # overlapping timelines afterwards.  Substrate-free backends (HPC)
+    # collect nothing and interleave without contention.
+
+    def install_contention(self, collector: Any) -> None:
+        """Arm the backend's cloud environment with a contention op collector."""
+        cloud = getattr(self, "cloud", None)
+        if cloud is not None:
+            cloud.install_contention(collector)
+
+    def clear_contention(self) -> None:
+        """Disarm contention collection on the backend's cloud environment."""
+        cloud = getattr(self, "cloud", None)
+        if cloud is not None:
+            cloud.clear_contention()
+
     def attempt_begin(self) -> Any:
         """Snapshot backend state before a dispatch that may fail mid-flight."""
         cloud = getattr(self, "cloud", None)

@@ -42,6 +42,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..chaos import ChaosConfig
+from ..concurrency import ConcurrencyConfig
 from ..cloud import CloudError, CostReport
 from ..comm import ChannelStats
 from ..telemetry import TelemetryConfig, Tracer
@@ -144,6 +145,14 @@ class ServingConfig:
     #: exact loop and the columnar fast path emit the same span set; fluid
     #: replays are analytic and record no trace.
     telemetry: Optional[TelemetryConfig] = None
+    #: opt-in interleaved execution with channel contention modelling
+    #: (:class:`~repro.concurrency.ConcurrencyConfig`).  ``None`` -- the
+    #: default -- runs the serialized loop exactly as before; set, it routes
+    #: the serve through :func:`repro.concurrency.interleave.interleaved_serve`,
+    #: which is byte-identical to the serialized loop while the contention
+    #: config stays unbounded.  Mutually exclusive with ``chaos`` and with
+    #: non-exact ``replay_mode``.
+    concurrency: Optional[ConcurrencyConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent_queries is not None and self.max_concurrent_queries < 1:
@@ -153,6 +162,23 @@ class ServingConfig:
                 f"replay_mode must be one of 'exact', 'auto', 'columnar', 'fluid'; "
                 f"got {self.replay_mode!r}"
             )
+        if self.concurrency is not None:
+            if not isinstance(self.concurrency, ConcurrencyConfig):
+                raise ValueError(
+                    f"concurrency must be a ConcurrencyConfig or None; "
+                    f"got {type(self.concurrency).__name__}"
+                )
+            if self.chaos is not None:
+                raise ValueError(
+                    "concurrency and chaos are mutually exclusive: the contended "
+                    "timeline has no retry/degradation semantics yet (see ROADMAP)"
+                )
+            if self.replay_mode != "exact":
+                raise ValueError(
+                    f"concurrency requires replay_mode='exact'; got "
+                    f"{self.replay_mode!r} (the vectorized tiers have no "
+                    f"contention model)"
+                )
 
 
 @dataclass(frozen=True)
@@ -185,6 +211,11 @@ class QueryRecord:
     #: structured reason for a non-success outcome (error class name or
     #: ``"deadline_exceeded"``); ``None`` when completed.
     failure_reason: Optional[str] = None
+    #: extra latency this query absorbed from channel/FaaS contention with
+    #: concurrently in-flight queries (interleaved serves only).  Exactly
+    #: ``0.0`` on serialized serves and on interleaved serves with an
+    #: unbounded contention config, preserving record-level byte-identity.
+    interference_seconds: float = 0.0
 
     @property
     def was_coalesced(self) -> bool:
@@ -231,6 +262,12 @@ class ServingReport:
     #: the :class:`~repro.telemetry.Tracer` that recorded this serve, when
     #: ``ServingConfig(telemetry=...)`` was set; ``None`` otherwise.
     telemetry: Optional[Tracer] = field(default=None, repr=False, compare=False)
+    #: contention aggregates from an interleaved serve with a *bounded*
+    #: :class:`~repro.concurrency.ContentionConfig` (interference totals plus
+    #: per-resource-class utilization/backlog peaks); ``None`` on serialized
+    #: serves and on unbounded interleaved serves, so those keep their
+    #: historical summary fingerprints byte-for-byte.
+    concurrency_stats: Optional[Dict[str, object]] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # sorted-latency memo: (record count, ascending latency array); the
@@ -521,6 +558,11 @@ class ServingReport:
                     violations / len(self.records) if self.records else None
                 )
             summary["chaos"] = chaos_summary
+        # Contention block only when an interleaved serve actually ran with a
+        # bounded contention config -- unbounded interleaved serves add
+        # nothing, by the byte-identity contract.
+        if self.concurrency_stats is not None:
+            summary["concurrency"] = self.concurrency_stats
         # Telemetry digest only on traced serves, so telemetry-off replays
         # keep every historical fingerprint byte-for-byte.
         if self.telemetry is not None:
@@ -583,6 +625,14 @@ class InferenceServer:
         event loop; chaos always does.
         """
         config = self.config
+        if config.concurrency is not None:
+            # Interleaved execution replaces the serialized loop wholesale;
+            # imported lazily to keep repro.concurrency importable without
+            # the serving layer.  Config validation already rejected chaos
+            # and non-exact replay modes.
+            from ..concurrency.interleave import interleaved_serve
+
+            return interleaved_serve(self, workload)
         if (
             config.replay_mode != "exact"
             and config.chaos is None

@@ -329,7 +329,7 @@ class TestCli:
 
 class TestRuleFramework:
     def test_rule_ids_are_stable_and_unique(self):
-        assert RULE_IDS == tuple(f"DET00{i}" for i in range(1, 9))
+        assert RULE_IDS == tuple(f"DET00{i}" for i in range(1, 10))
 
     def test_every_rule_documents_its_invariant(self):
         for row in rule_table():
